@@ -1,0 +1,60 @@
+"""Ablation: the E3 mode-case sleep intervals.
+
+The paper chose 1000/250/0 ms for overheating/hot/safe.  This ablation
+sweeps the hot-interval and confirms the design knob behaves as the
+mode-case abstraction promises: longer cool-downs push the plateau
+temperature down monotonically (and cost run time), while 0 ms
+everywhere reduces to the plain-Java trace.
+"""
+
+import pytest
+
+from repro.eval.runner import run_e3_episode
+from repro.eval.e3 import trace_stats
+from repro.workloads import E3_SLEEP_MS, HOT, OVERHEATING, get_workload
+
+
+def _run_with_sleeps(hot_ms: float, overheating_ms: float):
+    saved = dict(E3_SLEEP_MS)
+    E3_SLEEP_MS[HOT] = hot_ms
+    E3_SLEEP_MS[OVERHEATING] = overheating_ms
+    try:
+        return run_e3_episode(get_workload("findbugs"), "ent", seed=1,
+                              units=160)
+    finally:
+        E3_SLEEP_MS.update(saved)
+
+
+def test_ablation_sleep_interval_sweep(benchmark, results_dir):
+    def sweep():
+        return {hot_ms: trace_stats(_run_with_sleeps(hot_ms, 1000.0))
+                for hot_ms in (0.0, 125.0, 250.0, 500.0)}
+
+    stats = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    tails = [stats[ms]["tail_mean_c"]
+             for ms in (0.0, 125.0, 250.0, 500.0)]
+    # Longer hot-sleeps give monotonically cooler plateaus.
+    for cooler, hotter in zip(tails[1:], tails):
+        assert cooler <= hotter + 0.3, tails
+
+    lines = ["Ablation: E3 hot-mode sleep interval vs plateau"]
+    for ms, stat in stats.items():
+        lines.append(f"  hot_sleep={ms:6.0f}ms  "
+                     f"tail={stat['tail_mean_c']:5.1f}C  "
+                     f"peak={stat['peak_c']:5.1f}C")
+    from conftest import write_result
+    write_result(results_dir, "ablation_e3_sleep.txt", "\n".join(lines))
+
+
+def test_ablation_zero_sleeps_match_java(benchmark):
+    """With every interval at 0 ms the ENT run degenerates to Java."""
+
+    def pair():
+        ent = _run_with_sleeps(0.0, 0.0)
+        java = run_e3_episode(get_workload("findbugs"), "java", seed=1,
+                              units=160)
+        return ent, java
+
+    ent, java = benchmark.pedantic(pair, rounds=1, iterations=1)
+    assert trace_stats(ent)["tail_mean_c"] == pytest.approx(
+        trace_stats(java)["tail_mean_c"], abs=0.8)

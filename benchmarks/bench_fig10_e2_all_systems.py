@@ -1,0 +1,50 @@
+"""Figure 10: battery-casing (E2) runs, Systems A, B, and C.
+
+Regenerates the energy of the energy_saver and managed boots normalized
+against the full_throttle boot on the large workload, with mode cases
+selecting the Figure 7 QoS levels.  Shape assertions: energy-
+proportionality (es <= mg <= ft) everywhere, the paper's headline
+System-A savings bands, and the section-6.2 observation that the
+time-fixed Pi benchmarks save less (their savings come from power).
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.eval import figure10, format_figure10
+from repro.workloads import ES, MG
+
+#: Paper values for the % saved by the energy_saver boot (Figure 10),
+#: with generous tolerances for the simulated substrate.
+PAPER_ES_SAVINGS = {
+    ("A", "sunflow"): (65.24, 8.0),
+    ("A", "crypto"): (17.8, 8.0),
+    ("B", "camera"): (6.39, 4.0),
+    ("B", "video"): (19.63, 6.0),
+    ("B", "javaboy"): (1.34, 1.5),
+}
+
+
+def test_fig10_all_systems(benchmark, results_dir):
+    rows = benchmark.pedantic(figure10,
+                              kwargs={"systems": ("A", "B", "C")},
+                              rounds=1, iterations=1)
+    assert len(rows) == 6 + 5 + 4
+    for row in rows:
+        assert row.energy_proportional, (row.system, row.benchmark)
+        assert row.percent_saved(ES) >= row.percent_saved(MG) - 0.5
+    for (system, name), (expected, tol) in PAPER_ES_SAVINGS.items():
+        row = next(r for r in rows
+                   if r.system == system and r.benchmark == name)
+        assert row.percent_saved(ES) == pytest.approx(expected, abs=tol), (
+            system, name)
+    write_result(results_dir, "figure10.txt", format_figure10(rows))
+
+
+def test_fig10_pi_savings_are_power_driven(benchmark):
+    rows = benchmark.pedantic(figure10, kwargs={"systems": ("B",)},
+                              rounds=1, iterations=1)
+    by_name = {r.benchmark: r for r in rows}
+    for pi_specific in ("camera", "video", "javaboy"):
+        assert (by_name[pi_specific].percent_saved(ES)
+                < by_name["sunflow"].percent_saved(ES))

@@ -1,0 +1,39 @@
+"""Figure 11: System A temperature-casing (E3) runs.
+
+Regenerates the temperature-vs-time traces for the five unit-of-work
+benchmarks, ENT (mode-cased Sleep object) vs plain Java.  Shape
+assertions: ENT plateaus near the hot threshold (sunflow near the
+overheating threshold) while Java climbs continuously towards the
+thermal steady state.
+"""
+
+from conftest import write_result
+from repro.eval import figure11, format_figure11, run_e3_episode, \
+    trace_stats
+from repro.eval.e3 import HOT_THRESHOLD_C, OVERHEAT_THRESHOLD_C
+from repro.workloads import get_workload
+
+
+def test_fig11_traces(benchmark, results_dir):
+    pairs = benchmark.pedantic(figure11, rounds=1, iterations=1)
+    assert len(pairs) == 5
+    by_name = {p.benchmark: p for p in pairs}
+    for name, pair in by_name.items():
+        ent_tail = trace_stats(pair.ent)["tail_mean_c"]
+        java_tail = trace_stats(pair.java)["tail_mean_c"]
+        assert java_tail > ent_tail, name
+        assert pair.ent.sleeps > 0 and pair.java.sleeps == 0
+    for name in ("jython", "findbugs", "pagerank", "xalan"):
+        tail = trace_stats(by_name[name].ent)["tail_mean_c"]
+        assert abs(tail - HOT_THRESHOLD_C) < 5.0, (name, tail)
+    sunflow_tail = trace_stats(by_name["sunflow"].ent)["tail_mean_c"]
+    assert abs(sunflow_tail - OVERHEAT_THRESHOLD_C) < 4.0
+    write_result(results_dir, "figure11.txt", format_figure11(pairs))
+
+
+def test_fig11_single_ent_run(benchmark):
+    trace = benchmark.pedantic(
+        run_e3_episode, args=(get_workload("xalan"), "ent"),
+        kwargs={"units": 60}, rounds=1, iterations=1)
+    assert trace.sleeps >= 0
+    assert trace.trace

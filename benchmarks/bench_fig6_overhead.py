@@ -1,0 +1,88 @@
+"""Figure 6: benchmark descriptions, code sizes, and % energy overhead.
+
+Regenerates the paper's Figure 6 table: for every benchmark, the static
+columns (description, system, CLOC, ENT-change LoC) plus the measured
+overhead of the ENT runtime (tagging + checks + copies) against the
+baseline build that treats snapshot as a no-op.  The paper reports
+overheads within a few percent, frequently negative under run-to-run
+variance — the same band this harness produces.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.eval import figure6, format_figure6, measure_overhead
+from repro.runtime.embedded import EntRuntime
+from repro.workloads import ES, MG, get_workload
+
+
+def test_fig6_table(benchmark, results_dir):
+    rows = benchmark.pedantic(figure6, kwargs={"repeats": 5},
+                              rounds=1, iterations=1)
+    assert len(rows) == 15
+    for row in rows:
+        # The paper's band: overhead indistinguishable from noise
+        # (|x| <= 3.41% on their testbed); our decomposed estimator
+        # gives a small strictly-positive figure.
+        assert 0.0 <= row.overhead_percent < 5.0, (
+            row.benchmark, row.overhead_percent)
+    write_result(results_dir, "figure6.txt", format_figure6(rows))
+
+
+@pytest.mark.parametrize("baseline", [False, True],
+                         ids=["ent", "baseline"])
+def test_fig6_episode_cost(benchmark, baseline):
+    """The raw quantity behind the overhead column: one snapshot-and-
+    process episode under the full runtime vs the no-op baseline."""
+    workload = get_workload("jspider")
+
+    def episode():
+        from repro.platform.systems import make_platform
+        platform = make_platform("A", seed=1, battery_fraction=0.9)
+        rt = EntRuntime.standard(platform, baseline=baseline)
+
+        @rt.dynamic
+        class Task:
+            def __init__(self):
+                self.size = workload.task_size(ES)
+
+            def attributor(self):
+                return workload.attribute(self.size)
+
+            def process(self):
+                return workload.execute(rt.platform, self.size,
+                                        workload.qos_value(MG))
+
+        task = rt.snapshot(Task())
+        with rt.booted("full_throttle"):
+            return task.process()
+
+    result = benchmark(episode)
+    assert result.units_done > 0
+
+
+def test_fig6_runtime_mechanism_cost(benchmark):
+    """Microbenchmark of the pure runtime mechanisms: snapshot + dfall
+    check + mode-case elimination with a trivial kernel."""
+    rt = EntRuntime.standard()
+
+    @rt.dynamic
+    class Tiny:
+        level = rt.mcase({"energy_saver": 1, "managed": 2,
+                          "full_throttle": 3})
+
+        def __init__(self):
+            self.n = 100
+
+        def attributor(self):
+            return "managed"
+
+        def touch(self):
+            return self.level
+
+    def mechanisms():
+        obj = rt.snapshot(Tiny())
+        with rt.booted("full_throttle"):
+            return obj.touch()
+
+    assert benchmark(mechanisms) == 2

@@ -1,0 +1,30 @@
+"""Figure 7: the benchmark-settings table (workload attribution + QoS).
+
+A configuration table, regenerated from the single source of truth on
+the workload classes; the benchmark times the attribution classifiers
+that every E1 task attributor runs.
+"""
+
+from conftest import write_result
+from repro.eval import figure7_rows, format_figure7
+from repro.workloads import ALL_WORKLOADS, BATTERY_MODES
+
+
+def test_fig7_table(benchmark, results_dir):
+    rows = benchmark(figure7_rows)
+    assert len(rows) == 15
+    write_result(results_dir, "figure7.txt", format_figure7())
+
+
+def test_fig7_attribution_classifiers(benchmark):
+    """The thresholds of every task attributor, over all Fig 7 inputs."""
+
+    def classify_all():
+        out = []
+        for workload in ALL_WORKLOADS:
+            for mode in BATTERY_MODES:
+                out.append(workload.attribute(workload.task_size(mode)))
+        return out
+
+    result = benchmark(classify_all)
+    assert len(result) == 45

@@ -1,0 +1,42 @@
+"""Figure 8: System A battery-exception (E1) runs.
+
+Regenerates the full 9-combination grid (boot mode x workload mode),
+ENT and silent, for the six System-A benchmarks.  Shape assertions:
+EnergyException fires exactly on the three violating combos, and every
+exception-throwing ENT run consumes less than its silent counterpart.
+"""
+
+from conftest import write_result
+from repro.eval import figure8, format_figure8, run_e1_episode
+from repro.eval.config import VIOLATING_COMBOS
+from repro.workloads import BATTERY_MODES, FT, MG, get_workload
+
+_ORDER = {m: i for i, m in enumerate(BATTERY_MODES)}
+
+
+def test_fig8_grid(benchmark, results_dir):
+    rows = benchmark.pedantic(figure8, kwargs={"system": "A"},
+                              rounds=1, iterations=1)
+    assert len(rows) == 6
+    for row in rows:
+        for workload_mode in BATTERY_MODES:
+            for boot in BATTERY_MODES:
+                thrown = row.exception_thrown(boot, workload_mode)
+                expected = _ORDER[workload_mode] > _ORDER[boot]
+                assert thrown == expected, (
+                    row.benchmark, boot, workload_mode)
+                if thrown:
+                    assert (row.energy(boot, workload_mode, False)
+                            < row.energy(boot, workload_mode, True)), (
+                        row.benchmark, boot, workload_mode)
+    write_result(results_dir, "figure8.txt", format_figure8(rows))
+
+
+def test_fig8_single_episode(benchmark):
+    """One bar of Figure 8: the managed-boot / full_throttle-workload
+    jspider run (exception + degraded QoS)."""
+    workload = get_workload("jspider")
+    episode = benchmark(
+        lambda: run_e1_episode(workload, "A", MG, FT, seed=1))
+    assert episode.exception_raised
+    assert episode.energy_j > 0

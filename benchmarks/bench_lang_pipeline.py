@@ -1,0 +1,144 @@
+"""Compiler-pipeline microbenchmarks: lexing, parsing, typechecking and
+interpretation throughput of the ENT implementation itself.
+
+Not a paper figure — these benches track the reproduction's own
+implementation quality (the compilers-PL equivalent of a perf suite),
+and make pipeline regressions visible.
+"""
+
+import pytest
+
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_program
+from repro.lang.typechecker import check_program
+from repro.lang.interp import Interpreter, InterpOptions
+
+MODES = "modes { energy_saver <= managed; managed <= full_throttle; }\n"
+
+
+def _synthesize_program(classes: int = 20) -> str:
+    """A deterministic medium-sized ENT program."""
+    parts = [MODES]
+    for index in range(classes):
+        parts.append(f"""
+class Worker{index}@mode<?X> {{
+    int load;
+    attributor {{
+        if (load > 100) {{ return full_throttle; }}
+        if (load > 10) {{ return managed; }}
+        return energy_saver;
+    }}
+    Worker{index}(int load) {{ this.load = load; }}
+    mcase<int> factor = mcase{{
+        energy_saver: 1; managed: 2; full_throttle: 4;
+    }};
+    int work(int amount) {{
+        int acc = 0;
+        int i = 0;
+        while (i < amount) {{ acc = acc + factor; i = i + 1; }}
+        return acc;
+    }}
+}}
+""")
+    body = []
+    for index in range(classes):
+        body.append(f"Worker{index} w{index} = "
+                    f"snapshot (new Worker{index}@mode<?>({index * 9}));")
+        body.append(f"total = total + w{index}.work(20);")
+    parts.append("class Main { void main() { int total = 0; "
+                 + " ".join(body) + " Sys.print(total); } }")
+    return "".join(parts)
+
+
+PROGRAM = _synthesize_program()
+CHECKED = check_program(PROGRAM)
+
+
+def test_bench_lexer(benchmark):
+    tokens = benchmark(tokenize, PROGRAM)
+    assert len(tokens) > 1000
+
+
+def test_bench_parser(benchmark):
+    program = benchmark(parse_program, PROGRAM)
+    assert len(program.classes) == 21
+
+
+def test_bench_typechecker(benchmark):
+    checked = benchmark(check_program, PROGRAM)
+    assert "Worker0" in checked.table
+
+
+def test_bench_interpreter(benchmark):
+    def run():
+        interp = Interpreter(CHECKED,
+                             options=InterpOptions(fuel=10_000_000))
+        interp.run()
+        return interp
+
+    interp = benchmark(run)
+    assert interp.output and interp.output[0].isdigit()
+
+
+def test_bench_end_to_end(benchmark):
+    from repro.lang import run_source
+
+    interp = benchmark.pedantic(run_source, args=(PROGRAM,),
+                                rounds=3, iterations=1)
+    assert interp.stats.snapshots == 21 or interp.stats.snapshots == 20
+
+
+HOT_LOOP = MODES + """
+class Acc@mode<full_throttle> {
+    int total;
+    int bump(int k) { total = total + k; return total; }
+}
+class Main {
+    void main() {
+        Acc a = new Acc();
+        int i = 0;
+        while (i < 8000) { a.bump(i % 7); i = i + 1; }
+        Sys.print(a.total);
+    }
+}
+"""
+HOT_CHECKED = check_program(HOT_LOOP)
+
+
+@pytest.mark.parametrize("compiled", [False, True],
+                         ids=["walk", "compiled"])
+def test_bench_execution_engines(benchmark, compiled):
+    """Tree walk vs closure compilation on a message-heavy hot loop."""
+
+    def run():
+        interp = Interpreter(
+            HOT_CHECKED,
+            options=InterpOptions(fuel=10_000_000, compile=compiled))
+        interp.run()
+        return interp
+
+    interp = benchmark(run)
+    assert interp.output == ["23997"]
+
+
+def test_bench_smallstep_kernel(benchmark):
+    from repro.lang.smallstep import run_kernel
+
+    source = MODES + """
+    class D@mode<?X> {
+        int n;
+        attributor { return managed; }
+        D(int n) { this.n = n; }
+        int work(int k) { return n + k; }
+    }
+    class Main {
+        int main() {
+            return (snapshot (new D@mode<?>(1))).work(
+                   (snapshot (new D@mode<?>(2))).work(
+                   (snapshot (new D@mode<?>(3))).work(0)));
+        }
+    }
+    """
+    checked = check_program(source)
+    value, _ = benchmark(run_kernel, checked)
+    assert value == 6

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Quickstart: compile and run an ENT program, then do the same thing
+with the embedded Python API.
+
+ENT in one minute:
+
+* declare a lattice of energy **modes**;
+* mark classes whose energy behaviour is known at compile time with a
+  static mode, and classes whose behaviour depends on run-time state as
+  **dynamic** (``@mode<?X>``) with an **attributor**;
+* obtain a concrete mode with **snapshot** (optionally bounded — a bad
+  check raises ``EnergyException``);
+* give mode-alternative behaviour with **mode cases**;
+* the type system enforces the **waterfall invariant**: objects may only
+  message objects of equal-or-lesser mode.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.errors import EnergyException, WaterfallError
+from repro.lang import check_program, run_source
+from repro.runtime import EntRuntime
+
+PROGRAM = """
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+// A dynamic class: its mode depends on run-time state.
+class Job@mode<?X> {
+    int items;
+    attributor {
+        if (items > 100) { return full_throttle; }
+        if (items > 10) { return managed; }
+        return energy_saver;
+    }
+    Job(int items) { this.items = items; }
+
+    // A mode case: behaviour alternatives selected by the mode.
+    mcase<int> batchSize = mcase{
+        energy_saver: 1; managed: 8; full_throttle: 64;
+    };
+
+    int run() {
+        int batches = items / batchSize + 1;
+        Sys.work(batches);
+        return batches;
+    }
+}
+
+class Main {
+    void main() {
+        Job small = snapshot (new Job@mode<?>(5));
+        Sys.print("small job: " + small.run() + " batches");
+
+        Job big = snapshot (new Job@mode<?>(5000));
+        Sys.print("big job: " + big.run() + " batches");
+
+        // A bounded snapshot: refuse jobs above managed.
+        try {
+            Job bounded = snapshot (new Job@mode<?>(5000)) [_, managed];
+            bounded.run();
+        } catch (EnergyException e) {
+            Sys.print("refused: " + e);
+        }
+    }
+}
+"""
+
+BROKEN = """
+modes { energy_saver <= managed; managed <= full_throttle; }
+class Heavy@mode<full_throttle> { int burn() { return 1; } }
+class Saver@mode<energy_saver> {
+    int go(Heavy h) { return h.burn(); }   // waterfall violation!
+}
+class Main { void main() { } }
+"""
+
+
+def language_demo() -> None:
+    print("== The ENT language ==")
+    interp = run_source(PROGRAM)
+    for line in interp.output:
+        print(f"  {line}")
+    print(f"  [{interp.stats.snapshots} snapshots, "
+          f"{interp.stats.bound_checks} bound checks, "
+          f"{interp.stats.energy_exceptions} EnergyExceptions]")
+
+    print("\n== Compile-time energy bug ==")
+    try:
+        check_program(BROKEN)
+    except WaterfallError as exc:
+        print(f"  rejected: {exc}")
+
+
+def embedded_demo() -> None:
+    print("\n== The embedded Python API ==")
+    rt = EntRuntime.standard()
+
+    @rt.dynamic
+    class Job:
+        batch_size = rt.mcase({"energy_saver": 1, "managed": 8,
+                               "full_throttle": 64})
+
+        def __init__(self, items):
+            self.items = items
+
+        def attributor(self):
+            if self.items > 100:
+                return "full_throttle"
+            if self.items > 10:
+                return "managed"
+            return "energy_saver"
+
+        def run(self):
+            return self.items // self.batch_size + 1
+
+    small = rt.snapshot(Job(5))
+    print(f"  small job mode: {rt.mode_of(small)}, "
+          f"batches: {small.run()}")
+    try:
+        bounded = rt.snapshot(Job(5000), upper="managed")
+        print(f"  accepted at {rt.mode_of(bounded)}")
+    except EnergyException as exc:
+        print(f"  refused: {exc}")
+
+
+if __name__ == "__main__":
+    language_demo()
+    embedded_demo()

@@ -1,0 +1,31 @@
+"""Reproduction of "Proactive and Adaptive Energy-Aware Programming with
+Mixed Typechecking" (ENT, Canino & Liu, PLDI 2017).
+
+Subpackages:
+
+* :mod:`repro.core` — mode lattices, constraint entailment, errors.
+* :mod:`repro.lang` — the ENT language: lexer, parser, mixed
+  static/dynamic typechecker, interpreter.
+* :mod:`repro.runtime` — the embedded ENT API for plain Python programs
+  plus the ``Ext`` external-context utility.
+* :mod:`repro.platform` — simulated energy platforms (Intel laptop,
+  Raspberry Pi 2, Android phone) with battery, thermal and DVFS models.
+* :mod:`repro.workloads` — the paper's 15 benchmark applications.
+* :mod:`repro.eval` — the E1/E2/E3 experiment harnesses and the
+  per-figure report generators.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (BOTTOM, TOP, EnergyException, EntError, Mode,
+                        ModeLattice)
+
+__all__ = [
+    "BOTTOM",
+    "EnergyException",
+    "EntError",
+    "Mode",
+    "ModeLattice",
+    "TOP",
+    "__version__",
+]

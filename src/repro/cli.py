@@ -1,0 +1,183 @@
+"""Command-line interface for the ENT language.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro check  program.ent          # typecheck only
+    python -m repro run    program.ent [args]   # typecheck + run
+    python -m repro pretty program.ent          # parse + pretty-print
+    python -m repro tokens program.ent          # lex only
+
+``run`` options mirror the paper's build/runtime configurations:
+
+    --silent        ignore EnergyExceptions (the E1 silent build)
+    --baseline      no tagging bookkeeping (the Figure 6 baseline)
+    --eager-copy    disable the lazy-copy optimization
+    --system A|B|C  attach a platform simulator (battery/thermal/energy)
+    --battery F     initial battery fraction for the platform
+    --seed N        RNG / platform seed
+    --stats         print interpreter statistics after the run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.errors import EnergyException, EntError
+from repro.lang.interp import Interpreter, InterpOptions
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.typechecker import check_program
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The ENT energy-aware language (PLDI 2017 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="typecheck a program")
+    check.add_argument("file")
+    check.add_argument("--lenient-mcase", action="store_true",
+                       help="do not require full mode-case coverage")
+
+    run = sub.add_parser("run", help="typecheck and run a program")
+    run.add_argument("file")
+    run.add_argument("args", nargs="*", help="arguments passed to main")
+    run.add_argument("--silent", action="store_true",
+                     help="ignore EnergyExceptions (E1 silent build)")
+    run.add_argument("--baseline", action="store_true",
+                     help="disable runtime tagging (Fig 6 baseline)")
+    run.add_argument("--eager-copy", action="store_true",
+                     help="disable the lazy-copy optimization")
+    run.add_argument("--compile", action="store_true",
+                     help="closure-compile bodies (faster hot loops)")
+    run.add_argument("--fuel", type=int, default=None,
+                     help="maximum evaluation steps")
+    run.add_argument("--system", choices=["A", "B", "C"], default=None,
+                     help="attach a platform simulator")
+    run.add_argument("--battery", type=float, default=1.0,
+                     help="initial battery fraction (with --system)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--stats", action="store_true",
+                     help="print interpreter statistics")
+    run.add_argument("--lenient-mcase", action="store_true")
+
+    pretty = sub.add_parser("pretty", help="parse and pretty-print")
+    pretty.add_argument("file")
+
+    tokens = sub.add_parser("tokens", help="print the token stream")
+    tokens.add_argument("file")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check Python code using the embedded ENT API")
+    lint.add_argument("file")
+
+    return parser
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_check(args) -> int:
+    source = _read(args.file)
+    check_program(source,
+                  strict_mcase_coverage=not args.lenient_mcase)
+    print(f"{args.file}: OK")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    source = _read(args.file)
+    checked = check_program(source,
+                            strict_mcase_coverage=not args.lenient_mcase)
+    platform = None
+    if args.system is not None:
+        from repro.platform.systems import make_platform
+        platform = make_platform(args.system, seed=args.seed,
+                                 battery_fraction=args.battery)
+    options = InterpOptions(silent=args.silent, baseline=args.baseline,
+                            lazy_copy=not args.eager_copy,
+                            fuel=args.fuel, compile=args.compile)
+    interp = Interpreter(checked, platform=platform, options=options,
+                         seed=args.seed)
+    status = 0
+    try:
+        interp.run(args.args)
+    except EnergyException as exc:
+        print(f"EnergyException: {exc}", file=sys.stderr)
+        status = 3
+    for line in interp.output:
+        print(line)
+    if args.stats:
+        stats = interp.stats
+        print(f"[steps={stats.steps} messages={stats.messages} "
+              f"snapshots={stats.snapshots} copies={stats.copies} "
+              f"lazy_tags={stats.lazy_tags} "
+              f"bound_checks={stats.bound_checks} "
+              f"mcase_elims={stats.mcase_elims} "
+              f"energy_exceptions={stats.energy_exceptions}]",
+              file=sys.stderr)
+        if platform is not None:
+            print(f"[energy={platform.energy_total_j():.2f}J "
+                  f"time={platform.now():.3f}s "
+                  f"temp={platform.cpu_temperature():.1f}C "
+                  f"battery={platform.battery_fraction():.1%}]",
+                  file=sys.stderr)
+    return status
+
+
+def _cmd_pretty(args) -> int:
+    print(pretty_program(parse_program(_read(args.file))), end="")
+    return 0
+
+
+def _cmd_tokens(args) -> int:
+    for token in tokenize(_read(args.file)):
+        print(token)
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.runtime.lint import lint_source
+
+    findings = lint_source(_read(args.file), filename=args.file)
+    for finding in findings:
+        print(f"{args.file}:{finding}")
+    errors = [f for f in findings if f.code.startswith("E")]
+    if not findings:
+        print(f"{args.file}: OK")
+    return 1 if errors else 0
+
+
+_COMMANDS = {
+    "check": _cmd_check,
+    "run": _cmd_run,
+    "pretty": _cmd_pretty,
+    "tokens": _cmd_tokens,
+    "lint": _cmd_lint,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except EntError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Shared foundation: mode lattices, constraints, and the error hierarchy."""
+
+from repro.core.constraints import Atom, Constraint, ConstraintSet
+from repro.core.errors import (
+    BadCastError,
+    EnergyException,
+    EntError,
+    EntRuntimeError,
+    EntSyntaxError,
+    EntTypeError,
+    FuelExhausted,
+    ModeLatticeError,
+    SourceSpan,
+    StuckError,
+    UnknownModeError,
+    WaterfallError,
+)
+from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
+
+__all__ = [
+    "Atom",
+    "BOTTOM",
+    "BadCastError",
+    "Constraint",
+    "ConstraintSet",
+    "EnergyException",
+    "EntError",
+    "EntRuntimeError",
+    "EntSyntaxError",
+    "EntTypeError",
+    "FuelExhausted",
+    "Mode",
+    "ModeLattice",
+    "ModeLatticeError",
+    "SourceSpan",
+    "StuckError",
+    "TOP",
+    "UnknownModeError",
+    "WaterfallError",
+]

@@ -1,0 +1,210 @@
+"""Mode constraint sets and constraint entailment.
+
+The paper's type system carries a constraint set ``K`` of elements
+``eta <= eta'`` where each side is either a declared mode constant or a
+mode type variable (written ``mt``).  Entailment ``K |= K'`` holds iff the
+reflexive-transitive closure of ``K' ∪ D`` is a subset of the closure of
+``K ∪ D``, where ``D`` is the program's mode declaration (section 4.1).
+
+We represent a variable by its name (a plain string) and a constant by a
+:class:`~repro.core.modes.Mode`; a constraint is an ordered pair.  The
+lattice supplies the ground facts between constants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple, Union
+
+from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
+
+__all__ = ["Atom", "Constraint", "ConstraintSet"]
+
+#: Either a concrete mode or the name of a mode type variable.
+Atom = Union[Mode, str]
+
+#: ``lhs <= rhs``.
+Constraint = Tuple[Atom, Atom]
+
+
+def _is_var(atom: Atom) -> bool:
+    return isinstance(atom, str)
+
+
+class ConstraintSet:
+    """An immutable set of ``lhs <= rhs`` constraints with entailment.
+
+    Instances are cheap to extend (:meth:`extend` returns a new set) and
+    support the two queries the typechecker needs:
+
+    * :meth:`entails_one` — does ``K ∪ D`` derive a single constraint?
+    * :meth:`entails` — does it derive every constraint of another set?
+    """
+
+    __slots__ = ("_constraints", "lattice")
+
+    def __init__(self, lattice: ModeLattice,
+                 constraints: Iterable[Constraint] = ()) -> None:
+        self.lattice = lattice
+        normalized: Set[Constraint] = set()
+        for lhs, rhs in constraints:
+            self._check_atom(lhs)
+            self._check_atom(rhs)
+            normalized.add((lhs, rhs))
+        self._constraints: FrozenSet[Constraint] = frozenset(normalized)
+
+    def _check_atom(self, atom: Atom) -> None:
+        if isinstance(atom, Mode):
+            self.lattice.require(atom)
+        elif not isinstance(atom, str) or not atom:
+            raise TypeError(f"constraint atom must be Mode or variable "
+                            f"name, got {atom!r}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def constraints(self) -> FrozenSet[Constraint]:
+        return self._constraints
+
+    def extend(self, extra: Iterable[Constraint]) -> "ConstraintSet":
+        """A new constraint set with ``extra`` added."""
+        return ConstraintSet(self.lattice,
+                             list(self._constraints) + list(extra))
+
+    def variables(self) -> FrozenSet[str]:
+        """All mode type variables mentioned by the constraints."""
+        out: Set[str] = set()
+        for lhs, rhs in self._constraints:
+            if _is_var(lhs):
+                out.add(lhs)
+            if _is_var(rhs):
+                out.add(rhs)
+        return frozenset(out)
+
+    def substitute(self, mapping: Dict[str, Atom]) -> "ConstraintSet":
+        """Point-wise substitution of variables (the paper's ``{iota/iota'}``)."""
+        def subst(atom: Atom) -> Atom:
+            if _is_var(atom) and atom in mapping:
+                return mapping[atom]
+            return atom
+
+        return ConstraintSet(
+            self.lattice,
+            [(subst(lhs), subst(rhs)) for lhs, rhs in self._constraints])
+
+    # ------------------------------------------------------------------
+    # Entailment
+
+    def _successors(self, atom: Atom) -> Set[Atom]:
+        """Atoms one step above ``atom`` under K ∪ D."""
+        out: Set[Atom] = set()
+        for lhs, rhs in self._constraints:
+            if lhs == atom:
+                out.add(rhs)
+        if isinstance(atom, Mode):
+            # Ground lattice facts (the full up-set keeps the search
+            # shallow), plus the implicit BOTTOM <= var axioms so that
+            # collapsed (inconsistent) sets stay transitively closed.
+            out.update(self.lattice.up_set(atom))
+            if atom == BOTTOM:
+                out.update(self.variables())
+        else:
+            # Implicit var <= TOP axiom.
+            out.add(TOP)
+        return out
+
+    def _reachable(self, start: Atom) -> Set[Atom]:
+        seen: Set[Atom] = {start}
+        frontier = [start]
+        while frontier:
+            atom = frontier.pop()
+            for nxt in self._successors(atom):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def entails_one(self, lhs: Atom, rhs: Atom) -> bool:
+        """Does ``K ∪ D`` derive ``lhs <= rhs``?"""
+        self._check_atom(lhs)
+        self._check_atom(rhs)
+        if lhs == rhs:
+            return True
+        if lhs == BOTTOM or rhs == TOP:
+            return True
+        if isinstance(lhs, Mode) and isinstance(rhs, Mode):
+            if self.lattice.leq(lhs, rhs):
+                return True
+        reach = self._reachable(lhs)
+        if rhs in reach:
+            return True
+        # lhs <= BOTTOM squeezes lhs to the bottom: below everything.
+        if BOTTOM in reach:
+            return True
+        # TOP <= rhs squeezes rhs to the top: above everything.
+        return rhs in self._reachable(TOP)
+
+    def entails(self, other: "ConstraintSet") -> bool:
+        """``K |= K'``: every constraint of ``other`` is derivable here."""
+        return all(self.entails_one(lhs, rhs)
+                   for lhs, rhs in other.constraints)
+
+    def consistent(self) -> bool:
+        """No two distinct constants are forced into a cycle.
+
+        A constraint set like ``{full <= X, X <= saver}`` (with
+        ``saver < full``) is unsatisfiable: it would require
+        ``full <= saver``.  We detect this by checking that the closure
+        never derives ``a <= b`` for constants with ``not a <= b``.
+        """
+        constants = {a for c in self._constraints for a in c
+                     if isinstance(a, Mode)}
+        for a in constants:
+            reach = self._reachable(a)
+            for b in reach:
+                if isinstance(b, Mode) and not self.lattice.leq(a, b):
+                    return False
+        return True
+
+    def solve_range(self, var: str) -> Tuple[Mode, Mode]:
+        """The tightest constant interval ``[lo, hi]`` containing ``var``.
+
+        Used to check bounded snapshots statically and to report helpful
+        error messages.  Conservative: joins all constant lower bounds and
+        meets all constant upper bounds reachable through the constraint
+        graph.
+        """
+        lo, hi = BOTTOM, TOP
+        for atom in self._reachable(var):
+            if isinstance(atom, Mode):
+                hi = self.lattice.meet(hi, atom)
+        # Lower bounds: constants that reach the variable.
+        constants = {a for c in self._constraints for a in c
+                     if isinstance(a, Mode)}
+        for const in constants:
+            if var in self._reachable(const):
+                lo = self.lattice.join(lo, const)
+        return lo, hi
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, constraint: Constraint) -> bool:
+        return constraint in self._constraints
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstraintSet):
+            return NotImplemented
+        return (self._constraints == other._constraints
+                and self.lattice == other.lattice)
+
+    def __hash__(self) -> int:
+        return hash(self._constraints)
+
+    def __repr__(self) -> str:
+        parts = sorted(f"{lhs} <= {rhs}" for lhs, rhs in self._constraints)
+        return f"ConstraintSet({{{', '.join(parts)}}})"

@@ -1,0 +1,102 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+Usage::
+
+    python -m repro.eval figure9                 # print one figure
+    python -m repro.eval all                     # print everything
+    python -m repro.eval export --dir results    # write JSON data
+    python -m repro.eval drain --benchmark jspider
+
+Figures print in the same text form the benchmark harness writes to
+``results/figure*.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.eval",
+        description="Regenerate the ENT paper's evaluation "
+                    "(Figures 6-11)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("figure6", "figure7", "figure8", "figure9", "figure10",
+                 "figure11", "all"):
+        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        cmd.add_argument("--seed", type=int, default=0)
+
+    export = sub.add_parser("export", help="write figure data as JSON")
+    export.add_argument("--dir", default="results")
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--figures", nargs="*", default=None)
+
+    drain = sub.add_parser(
+        "drain", help="adaptive run across a battery discharge")
+    drain.add_argument("--benchmark", default="jspider")
+    drain.add_argument("--system", default="A")
+    drain.add_argument("--iterations", type=int, default=40)
+    drain.add_argument("--battery-scale", type=float, default=0.003)
+    drain.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _print_figure(name: str, seed: int) -> None:
+    from repro.eval import (figure6, figure8, figure9, figure10,
+                            figure11, format_figure6, format_figure7,
+                            format_figure8, format_figure9,
+                            format_figure10, format_figure11)
+    if name == "figure6":
+        print(format_figure6(figure6(seed=seed)))
+    elif name == "figure7":
+        print(format_figure7())
+    elif name == "figure8":
+        print(format_figure8(figure8("A", seed=seed)))
+    elif name == "figure9":
+        print(format_figure9(figure9(seed=seed)))
+    elif name == "figure10":
+        print(format_figure10(figure10(seed=seed)))
+    elif name == "figure11":
+        print(format_figure11(figure11(seed=seed)))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "all":
+        for name in ("figure7", "figure6", "figure8", "figure9",
+                     "figure10", "figure11"):
+            _print_figure(name, args.seed)
+            print()
+        return 0
+    if args.command == "export":
+        from repro.eval.export import export_all
+        written = export_all(directory=args.dir, seed=args.seed,
+                             figures=args.figures)
+        for name, path in written.items():
+            print(f"{name}: {path}")
+        return 0
+    if args.command == "drain":
+        from repro.eval.sweeps import battery_drain_run
+        run = battery_drain_run(args.benchmark, args.system,
+                                iterations=args.iterations,
+                                battery_scale=args.battery_scale,
+                                seed=args.seed)
+        print(f"{args.benchmark} on System {args.system}: "
+              f"{len(run.steps)} iterations")
+        for step in run.steps:
+            print(f"  {step.index:>3} battery={step.battery_before:.0%} "
+                  f"mode={step.boot_mode:<14} qos={step.qos_mode:<14} "
+                  f"E={step.energy_j:.1f}J")
+        print(f"monotone downward: {run.monotone_downward()}")
+        return 0
+    _print_figure(args.command, args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Experiment configuration: the single source of truth for Figure 7.
+
+All per-benchmark settings live on the workload classes; this module
+assembles them into the paper's tables and defines the experiment
+grids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import BATTERY_MODES, ES, FT, MG
+from repro.workloads.registry import (ALL_WORKLOADS, E1_E2_BENCHMARKS,
+                                      E3_BENCHMARKS)
+
+#: The (boot, workload) combinations whose snapshots violate the
+#: waterfall and throw EnergyException (section 6.2) — the three bars
+#: of Figure 9, in the paper's order.
+VIOLATING_COMBOS = [(MG, FT), (ES, MG), (ES, FT)]
+
+#: All nine boot x workload combinations of Figure 8.
+ALL_COMBOS = [(b, w) for w in BATTERY_MODES for b in BATTERY_MODES]
+
+
+def figure7_rows() -> List[Dict[str, str]]:
+    """Figure 7: benchmark settings (workload attribution + QoS)."""
+    rows = []
+    for workload in ALL_WORKLOADS:
+        rows.append({
+            "name": workload.name,
+            "workload": workload.workload_kind,
+            "workload_es": workload.workload_labels[ES],
+            "workload_mg": workload.workload_labels[MG],
+            "workload_ft": workload.workload_labels[FT],
+            "qos": workload.qos_kind,
+            "qos_es": workload.qos_labels[ES],
+            "qos_mg": workload.qos_labels[MG],
+            "qos_ft": workload.qos_labels[FT],
+        })
+    return rows
+
+
+def figure6_static_rows() -> List[Dict[str, str]]:
+    """Figure 6's static columns (descriptions and code sizes)."""
+    return [w.describe() for w in ALL_WORKLOADS]
+
+
+def e1_benchmarks(system: str) -> List[str]:
+    return list(E1_E2_BENCHMARKS[system])
+
+
+def e2_benchmarks(system: str) -> List[str]:
+    return list(E1_E2_BENCHMARKS[system])
+
+
+def e3_benchmarks() -> List[str]:
+    return list(E3_BENCHMARKS)

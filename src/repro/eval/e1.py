@@ -1,0 +1,101 @@
+"""E1 — the battery-exception experiment (Figures 8 and 9).
+
+Each benchmark runs under all nine boot-mode x workload-mode
+combinations, twice: once under ENT (the ``EnergyException`` fires on
+the three violating combos, scaling QoS down to energy_saver) and once
+"silent" (the exception is ignored — "what could have been" without
+the runtime type system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.eval.config import ALL_COMBOS, VIOLATING_COMBOS, e1_benchmarks
+from repro.eval.runner import EpisodeResult, run_e1_episode
+from repro.workloads.base import BATTERY_MODES, FT
+from repro.workloads.registry import get_workload
+
+__all__ = ["Figure8Row", "Figure9Bar", "figure8", "figure9"]
+
+
+@dataclass
+class Figure8Row:
+    """One benchmark's 18 bars: 9 combos x {ent, silent}."""
+
+    benchmark: str
+    #: (boot_mode, workload_mode, silent) -> episode.
+    cells: Dict[Tuple[str, str, bool], EpisodeResult] = field(
+        default_factory=dict)
+
+    def energy(self, boot: str, workload: str, silent: bool) -> float:
+        return self.cells[(boot, workload, silent)].energy_j
+
+    def exception_thrown(self, boot: str, workload: str) -> bool:
+        return self.cells[(boot, workload, False)].exception_raised
+
+
+def figure8(system: str = "A", seed: int = 0,
+            benchmarks: List[str] = None) -> List[Figure8Row]:
+    """Run the full E1 grid for one system."""
+    rows: List[Figure8Row] = []
+    for name in benchmarks if benchmarks is not None \
+            else e1_benchmarks(system):
+        workload = get_workload(name)
+        row = Figure8Row(benchmark=name)
+        for boot, wl in ALL_COMBOS:
+            for silent in (False, True):
+                row.cells[(boot, wl, silent)] = run_e1_episode(
+                    workload, system, boot, wl, silent=silent, seed=seed)
+        rows.append(row)
+    return rows
+
+
+@dataclass
+class Figure9Bar:
+    """One violating combo: ENT vs silent, normalized energies."""
+
+    benchmark: str
+    system: str
+    boot_mode: str
+    workload_mode: str
+    ent_energy_j: float
+    silent_energy_j: float
+    #: Both energies normalized against the silent full_throttle boot.
+    ent_normalized: float
+    silent_normalized: float
+
+    @property
+    def percent_saved(self) -> float:
+        """The number printed on the Figure 9 bars."""
+        if self.silent_energy_j <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.ent_energy_j / self.silent_energy_j)
+
+
+def figure9(systems: Tuple[str, ...] = ("A", "B", "C"),
+            seed: int = 0) -> List[Figure9Bar]:
+    """The three violating combos per benchmark, all systems."""
+    bars: List[Figure9Bar] = []
+    for system in systems:
+        for name in e1_benchmarks(system):
+            workload = get_workload(name)
+            episodes: Dict[Tuple[str, str, bool], EpisodeResult] = {}
+            needed = set(VIOLATING_COMBOS) | {(FT, FT)}
+            for boot, wl in needed:
+                for silent in (False, True):
+                    episodes[(boot, wl, silent)] = run_e1_episode(
+                        workload, system, boot, wl, silent=silent,
+                        seed=seed)
+            baseline = episodes[(FT, FT, True)].energy_j
+            for boot, wl in VIOLATING_COMBOS:
+                ent = episodes[(boot, wl, False)]
+                silent = episodes[(boot, wl, True)]
+                bars.append(Figure9Bar(
+                    benchmark=name, system=system, boot_mode=boot,
+                    workload_mode=wl, ent_energy_j=ent.energy_j,
+                    silent_energy_j=silent.energy_j,
+                    ent_normalized=ent.energy_j / baseline,
+                    silent_normalized=silent.energy_j / baseline))
+    return bars

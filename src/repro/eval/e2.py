@@ -1,0 +1,56 @@
+"""E2 — the battery-casing experiment (Figure 10).
+
+Each benchmark processes its *large* workload under each boot mode;
+the boot mode eliminates a mode case that selects the Figure 7 QoS
+level.  Energies are normalized against the full_throttle boot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.eval.config import e2_benchmarks
+from repro.eval.runner import run_e2_episode
+from repro.workloads.base import BATTERY_MODES, ES, FT, MG
+from repro.workloads.registry import get_workload
+
+__all__ = ["Figure10Row", "figure10"]
+
+
+@dataclass
+class Figure10Row:
+    benchmark: str
+    system: str
+    #: boot mode -> measured energy (J), large workload.
+    energy_j: Dict[str, float]
+
+    def normalized(self, boot_mode: str) -> float:
+        return self.energy_j[boot_mode] / self.energy_j[FT]
+
+    def percent_saved(self, boot_mode: str) -> float:
+        """The number printed on the Figure 10 bars."""
+        return 100.0 * (1.0 - self.normalized(boot_mode))
+
+    @property
+    def energy_proportional(self) -> bool:
+        """es <= mg <= ft — the 'good news for energy-proportional
+        computing' observation of section 6.2."""
+        return (self.energy_j[ES] <= self.energy_j[MG]
+                <= self.energy_j[FT])
+
+
+def figure10(systems: Tuple[str, ...] = ("A", "B", "C"),
+             seed: int = 0) -> List[Figure10Row]:
+    rows: List[Figure10Row] = []
+    for system in systems:
+        for name in e2_benchmarks(system):
+            workload = get_workload(name)
+            energies: Dict[str, float] = {}
+            for boot in BATTERY_MODES:
+                episode = run_e2_episode(workload, system, boot,
+                                         workload_mode=FT, seed=seed)
+                energies[boot] = episode.energy_j
+            rows.append(Figure10Row(benchmark=name, system=system,
+                                    energy_j=energies))
+    return rows

@@ -1,0 +1,57 @@
+"""E3 — the temperature-casing experiment (Figure 11).
+
+Five System-A benchmarks with a distinct unit of work run twice: once
+in ENT (snapshotting a temperature-attributed Sleep object between
+units, sleeping its mode-cased interval) and once as plain Java (no
+sleeps).  The expected shape: ENT traces plateau near the ``hot``
+threshold (sunflow near ``overheating``) while Java traces climb
+towards the thermal steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.eval.config import e3_benchmarks
+from repro.eval.runner import TraceResult, run_e3_episode
+from repro.workloads.registry import get_workload
+
+__all__ = ["Figure11Pair", "figure11", "trace_stats"]
+
+#: E3 thresholds (degrees C) from section 6.1.
+HOT_THRESHOLD_C = 60.0
+OVERHEAT_THRESHOLD_C = 65.0
+
+
+@dataclass
+class Figure11Pair:
+    benchmark: str
+    ent: TraceResult
+    java: TraceResult
+
+
+def figure11(seed: int = 0,
+             benchmarks: Optional[List[str]] = None,
+             units: Optional[int] = None) -> List[Figure11Pair]:
+    pairs: List[Figure11Pair] = []
+    for name in benchmarks if benchmarks is not None else e3_benchmarks():
+        workload = get_workload(name)
+        ent = run_e3_episode(workload, "ent", seed=seed, units=units)
+        java = run_e3_episode(workload, "java", seed=seed, units=units)
+        pairs.append(Figure11Pair(benchmark=name, ent=ent, java=java))
+    return pairs
+
+
+def trace_stats(trace: TraceResult,
+                tail_fraction: float = 0.5) -> Dict[str, float]:
+    """Summary statistics of a temperature trace's steady tail."""
+    tail = [temp for t, temp in trace.trace if t >= 1.0 - tail_fraction]
+    if not tail:
+        tail = [temp for _, temp in trace.trace] or [0.0]
+    return {
+        "tail_mean_c": sum(tail) / len(tail),
+        "tail_max_c": max(tail),
+        "peak_c": max(temp for _, temp in trace.trace),
+        "final_c": trace.trace[-1][1] if trace.trace else 0.0,
+    }

@@ -1,0 +1,128 @@
+"""Machine-readable export of every figure's data.
+
+`results/figure*.txt` are the human-readable tables; this module emits
+the same data as JSON so downstream users can plot or post-process it
+(the paper ships raw data as supplemental material — this is our
+equivalent).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+from repro.eval.config import figure7_rows
+from repro.eval.e1 import Figure9Bar, figure8, figure9
+from repro.eval.e2 import figure10
+from repro.eval.e3 import figure11, trace_stats
+from repro.eval.overhead import figure6
+from repro.workloads.base import BATTERY_MODES
+
+__all__ = ["export_all", "figure_data"]
+
+
+def figure_data(name: str, seed: int = 0,
+                overhead_repeats: int = 5) -> object:
+    """The JSON-serializable data behind one figure."""
+    if name == "figure6":
+        return [{
+            "benchmark": row.benchmark,
+            "description": row.description,
+            "systems": row.systems,
+            "cloc": row.cloc,
+            "ent_changes": row.ent_changes,
+            "overhead_percent": round(row.overhead_percent, 4),
+            "mechanism_counts": row.counts,
+        } for row in figure6(repeats=overhead_repeats, seed=seed)]
+    if name == "figure7":
+        return figure7_rows()
+    if name == "figure8":
+        out = []
+        for row in figure8("A", seed=seed):
+            for (boot, workload, silent), episode in row.cells.items():
+                out.append({
+                    "benchmark": row.benchmark,
+                    "boot_mode": boot,
+                    "workload_mode": workload,
+                    "silent": silent,
+                    "energy_j": round(episode.energy_j, 3),
+                    "duration_s": round(episode.duration_s, 3),
+                    "exception": episode.exception_raised,
+                    "qos_mode": episode.qos_mode,
+                })
+        return out
+    if name == "figure9":
+        return [{
+            "system": bar.system,
+            "benchmark": bar.benchmark,
+            "boot_mode": bar.boot_mode,
+            "workload_mode": bar.workload_mode,
+            "ent_energy_j": round(bar.ent_energy_j, 3),
+            "silent_energy_j": round(bar.silent_energy_j, 3),
+            "ent_normalized": round(bar.ent_normalized, 4),
+            "silent_normalized": round(bar.silent_normalized, 4),
+            "percent_saved": round(bar.percent_saved, 3),
+        } for bar in figure9(seed=seed)]
+    if name == "figure10":
+        return [{
+            "system": row.system,
+            "benchmark": row.benchmark,
+            "energy_j": {mode: round(row.energy_j[mode], 3)
+                         for mode in BATTERY_MODES},
+            "percent_saved": {
+                mode: round(row.percent_saved(mode), 3)
+                for mode in BATTERY_MODES},
+            "energy_proportional": row.energy_proportional,
+        } for row in figure10(seed=seed)]
+    if name == "figure11":
+        out = []
+        for pair in figure11(seed=seed):
+            for variant, trace in (("ent", pair.ent),
+                                   ("java", pair.java)):
+                stats = trace_stats(trace)
+                out.append({
+                    "benchmark": pair.benchmark,
+                    "variant": variant,
+                    "duration_s": round(trace.duration_s, 3),
+                    "energy_j": round(trace.energy_j, 3),
+                    "sleeps": trace.sleeps,
+                    "tail_mean_c": round(stats["tail_mean_c"], 3),
+                    "peak_c": round(stats["peak_c"], 3),
+                    # Trace decimated to ~200 points for plotting.
+                    "trace": _decimate(trace.trace, 200),
+                })
+        return out
+    raise KeyError(f"unknown figure {name!r}")
+
+
+def _decimate(points, target: int) -> List[List[float]]:
+    if len(points) <= target:
+        return [[round(t, 5), round(v, 3)] for t, v in points]
+    step = len(points) / target
+    out = []
+    for index in range(target):
+        t, v = points[int(index * step)]
+        out.append([round(t, 5), round(v, 3)])
+    out.append([round(points[-1][0], 5), round(points[-1][1], 3)])
+    return out
+
+
+FIGURES = ("figure6", "figure7", "figure8", "figure9", "figure10",
+           "figure11")
+
+
+def export_all(directory: str = "results", seed: int = 0,
+               figures: Optional[List[str]] = None,
+               overhead_repeats: int = 5) -> Dict[str, str]:
+    """Write ``<figure>.json`` files; returns name -> path."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(exist_ok=True)
+    written: Dict[str, str] = {}
+    for name in figures if figures is not None else FIGURES:
+        data = figure_data(name, seed=seed,
+                           overhead_repeats=overhead_repeats)
+        path = out_dir / f"{name}.json"
+        path.write_text(json.dumps(data, indent=2) + "\n")
+        written[name] = str(path)
+    return written

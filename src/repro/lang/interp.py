@@ -1,0 +1,993 @@
+"""Operational semantics for ENT (paper section 4.2).
+
+A tree-walking interpreter over typechecked programs.  The ENT-specific
+behaviour:
+
+* **Closures** ``cl(m, e)`` — every frame carries the mode it executes
+  under; invoking a method switches to the receiver's mode (or the
+  method's overriding/attributed mode).
+* **Snapshot** — evaluates the receiver's attributor, performs the
+  ``check(m, lo, hi, o)`` bound test (raising the paper's
+  ``EnergyException`` on a *bad check*), and produces a shallow copy
+  tagged with the resulting mode.  The section-5 lazy-copy optimization
+  tags the first snapshot in place and only copies from the second
+  snapshot on.
+* **dfall** — the dynamic waterfall invariant is asserted on every
+  message; for well-typed programs this never fails (Corollary 1), and
+  the interpreter exposes an ``on_message`` hook so tests can verify it.
+* **Mode cases** — eliminated implicitly against the enclosing object's
+  mode, or explicitly via ``mselect``.
+
+Run-time configurations used by the evaluation harness:
+
+* ``silent=True`` — the E1 baseline that "ignores the EnergyException":
+  bound checks always pass (tagging remains in place).
+* ``baseline=True`` — the Figure-6 overhead baseline: no copy/tag
+  bookkeeping and no bound checks; attributors still run so program
+  behaviour is preserved.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.errors import (BadCastError, EnergyException,
+                               EntRuntimeError, FuelExhausted, StuckError)
+from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
+from repro.lang import ast_nodes as ast
+from repro.lang import types as ty
+from repro.lang.natives import (NATIVE_STATIC_CLASSES, call_list_method,
+                                call_native_static, call_string_method)
+from repro.lang.typechecker import CheckedProgram
+from repro.lang.types import DYN, ClassInfo, MethodInfo, ModeAtom, ObjectType
+from repro.lang.values import MCaseV, ObjectV
+
+__all__ = ["Interpreter", "InterpOptions", "InterpStats", "NullPlatform",
+            "run_source"]
+
+
+class NullPlatform:
+    """Default platform: a pure accounting stub with full battery.
+
+    Real platforms (:mod:`repro.platform.systems`) implement the same
+    interface backed by battery/thermal/CPU models.
+    """
+
+    def __init__(self) -> None:
+        self.work_units = 0.0
+        self.io_total = 0.0
+        self.net_total = 0.0
+        self.slept = 0.0
+        self._clock = 0.0
+
+    def battery_fraction(self) -> float:
+        return 1.0
+
+    def cpu_temperature(self) -> float:
+        return 45.0
+
+    def cpu_work(self, units: float) -> None:
+        self.work_units += units
+        self._clock += units * 1e-6
+
+    def io_bytes(self, count: float) -> None:
+        self.io_total += count
+        self._clock += count * 1e-8
+
+    def net_bytes(self, count: float) -> None:
+        self.net_total += count
+        self._clock += count * 1e-7
+
+    def sleep(self, seconds: float) -> None:
+        self.slept += seconds
+        self._clock += seconds
+
+    def now(self) -> float:
+        return self._clock
+
+
+@dataclass
+class InterpOptions:
+    silent: bool = False
+    baseline: bool = False
+    lazy_copy: bool = True
+    fuel: Optional[int] = None
+    check_dfall: bool = True
+    #: Closure-compile bodies on first execution (see
+    #: :mod:`repro.lang.compiler`); semantics are identical.
+    compile: bool = False
+
+
+@dataclass
+class InterpStats:
+    steps: int = 0
+    messages: int = 0
+    dfall_checks: int = 0
+    snapshots: int = 0
+    copies: int = 0
+    lazy_tags: int = 0
+    bound_checks: int = 0
+    energy_exceptions: int = 0
+    mcase_elims: int = 0
+    objects_created: int = 0
+
+
+class _NativeRef:
+    """A reference to a native static class (``Ext``, ``Sys``, ``Math``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<native {self.name}>"
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+
+@dataclass
+class _Frame:
+    this_obj: Optional[ObjectV]
+    mode_env: Dict[str, Optional[Mode]]
+    current_mode: Optional[Mode]
+    locals: List[Dict[str, object]] = field(default_factory=list)
+
+    def push(self) -> None:
+        self.locals.append({})
+
+    def pop(self) -> None:
+        self.locals.pop()
+
+    def declare(self, name: str, value: object) -> None:
+        self.locals[-1][name] = value
+
+    def lookup(self, name: str):
+        for frame in reversed(self.locals):
+            if name in frame:
+                return True, frame[name]
+        return False, None
+
+    def assign(self, name: str, value: object) -> bool:
+        for frame in reversed(self.locals):
+            if name in frame:
+                frame[name] = value
+                return True
+        return False
+
+
+class Interpreter:
+    """Evaluates a typechecked ENT program."""
+
+    def __init__(self, checked: CheckedProgram,
+                 platform=None,
+                 options: Optional[InterpOptions] = None,
+                 seed: int = 0) -> None:
+        self.checked = checked
+        self.table = checked.table
+        self.lattice: ModeLattice = checked.lattice
+        self.platform = platform if platform is not None else NullPlatform()
+        self.options = options or InterpOptions()
+        self.stats = InterpStats()
+        self.output: List[str] = []
+        self.rng = random.Random(seed)
+        #: Optional instrumentation: called as
+        #: ``on_message(receiver_mode, sender_mode, holds)`` before every
+        #: user-object message (Corollary 1 tests).
+        self.on_message: Optional[Callable] = None
+        #: Called as ``on_snapshot(obj, mode, lower, upper, ok)``.
+        self.on_snapshot: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    # Entry point
+
+    def run(self, args: Optional[List[str]] = None) -> object:
+        """Boot the program: ``cl(⊤, mbody(main, Main⟨⊤⟩))``."""
+        if "Main" not in self.table:
+            raise EntRuntimeError("program has no class Main")
+        boot_frame = _Frame(this_obj=None, mode_env={}, current_mode=TOP)
+        boot_frame.push()
+        main_obj = self._construct(self.table.get("Main"), (TOP,), [],
+                                   boot_frame, span=None)
+        minfo = self._find_method(main_obj.class_info, "main")
+        if minfo is None:
+            raise EntRuntimeError("class Main has no method main")
+        call_args: List[object] = []
+        if len(minfo.param_names) == 1:
+            call_args = [list(args or [])]
+        elif len(minfo.param_names) > 1 or args:
+            if len(minfo.param_names) != (1 if args else 0):
+                raise EntRuntimeError(
+                    "main must take zero parameters or a single List")
+        return self._invoke(main_obj, minfo, call_args, boot_frame,
+                            self_call=False, span=None)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+
+    def _tick(self) -> None:
+        self.stats.steps += 1
+        fuel = self.options.fuel
+        if fuel is not None and self.stats.steps > fuel:
+            raise FuelExhausted(
+                f"evaluation exceeded {fuel} steps (divergence bound)")
+
+    def _resolve_atom(self, atom: ModeAtom,
+                      frame: _Frame) -> Optional[Mode]:
+        """Resolve a mode atom to a concrete mode (None for ``?``)."""
+        if isinstance(atom, Mode):
+            return atom
+        if atom is DYN:
+            return None
+        return frame.mode_env.get(atom)
+
+    def render(self, value: object) -> str:
+        """Java-flavoured string rendering (used by ``+`` and print)."""
+        if value is None:
+            return "null"
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        if isinstance(value, float) and value.is_integer():
+            return f"{value:.1f}"
+        if isinstance(value, Mode):
+            return value.name
+        if isinstance(value, list):
+            return "[" + ", ".join(self.render(v) for v in value) + "]"
+        return str(value)
+
+    def values_equal(self, a: object, b: object) -> bool:
+        if isinstance(a, bool) or isinstance(b, bool):
+            return a is b
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            return a == b
+        if isinstance(a, str) and isinstance(b, str):
+            return a == b
+        if a is None or b is None:
+            return a is b
+        # Modes are interned; objects and lists compare by identity.
+        return a is b
+
+    # ------------------------------------------------------------------
+    # Object construction
+
+    def _find_method(self, info: ClassInfo,
+                     name: str) -> Optional[MethodInfo]:
+        current: Optional[ClassInfo] = info
+        while current is not None:
+            if name in current.methods:
+                return current.methods[name]
+            current = (self.table.get(current.superclass)
+                       if current.superclass else None)
+        return None
+
+    def _find_attributor(self,
+                         info: ClassInfo) -> Optional[ast.AttributorDecl]:
+        current: Optional[ClassInfo] = info
+        while current is not None:
+            if current.decl is not None and current.decl.attributor:
+                return current.decl.attributor
+            current = (self.table.get(current.superclass)
+                       if current.superclass else None)
+        return None
+
+    def _full_mode_env(self, info: ClassInfo,
+                       own: Dict[str, Optional[Mode]]
+                       ) -> Dict[str, Optional[Mode]]:
+        """Extend an instantiation with the resolved parameters of every
+        ancestor (so inherited method bodies resolve their variables)."""
+        env = dict(own)
+        current = info
+        while current.superclass is not None:
+            super_info = self.table.get(current.superclass)
+            if current.super_args:
+                atoms = current.super_args
+            else:
+                # Default: pass our mode through; bound extras at their
+                # upper bounds.
+                own_atom: ModeAtom = (
+                    current.params[0].concrete
+                    if current.params[0].concrete is not None
+                    else current.params[0].var)
+                atoms = (own_atom,) + tuple(
+                    p.upper for p in super_info.params[1:])
+            for param, atom in zip(super_info.params, atoms):
+                if param.var is None:
+                    continue
+                if isinstance(atom, Mode):
+                    env[param.var] = atom
+                elif atom is DYN:
+                    env[param.var] = None
+                else:
+                    env[param.var] = env.get(atom)
+            current = super_info
+        return env
+
+    def _default_value(self, declared: ty.Type) -> object:
+        if declared == ty.INT:
+            return 0
+        if declared == ty.DOUBLE:
+            return 0.0
+        if declared == ty.BOOLEAN:
+            return False
+        return None
+
+    def _construct(self, info: ClassInfo, atoms, arg_values: List[object],
+                   frame: _Frame, span) -> ObjectV:
+        own_env: Dict[str, Optional[Mode]] = {}
+        for param, atom in zip(info.params, atoms):
+            if param.var is None:
+                continue
+            own_env[param.var] = (atom if isinstance(atom, Mode)
+                                  else self._resolve_atom(atom, frame))
+        env = self._full_mode_env(info, own_env)
+        obj = ObjectV(info, env, {})
+        self.stats.objects_created += 1
+        # Field defaults and initializers, superclass-first.
+        init_frame = _Frame(this_obj=obj, mode_env=env,
+                            current_mode=frame.current_mode)
+        init_frame.push()
+        for finfo in self.table.all_fields(info.name):
+            obj.fields[finfo.name] = self._default_value(finfo.declared)
+        for finfo in self.table.all_fields(info.name):
+            if finfo.decl is not None and finfo.decl.init is not None:
+                wants = isinstance(finfo.declared, ty.MCaseType)
+                obj.fields[finfo.name] = self._execute_expr(
+                    finfo.decl.init, init_frame, want_mcase=wants)
+        # Constructor body.
+        ctor = info.decl.constructor if info.decl is not None else None
+        if ctor is None:
+            if arg_values:
+                raise EntRuntimeError(
+                    f"class {info.name} has no constructor")
+        else:
+            ctor_frame = _Frame(this_obj=obj, mode_env=env,
+                                current_mode=frame.current_mode)
+            ctor_frame.push()
+            for param, value in zip(ctor.params, arg_values):
+                ctor_frame.declare(param.name, value)
+            try:
+                self._execute_block(ctor.body, ctor_frame)
+            except _ReturnSignal:
+                pass
+        return obj
+
+    # ------------------------------------------------------------------
+    # Messaging
+
+    def _invoke(self, receiver: ObjectV, minfo: MethodInfo,
+                args: List[object], frame: _Frame, self_call: bool,
+                span) -> object:
+        self.stats.messages += 1
+        # The receiver's mode environment is only copied when a method-
+        # level binding extends it; bodies never mutate it.
+        mode_env = receiver.mode_env
+        binding_var: Optional[str] = None
+        guard: Optional[Mode]
+        closure: Optional[Mode]
+        if minfo.mode_param is not None:
+            mode_env = dict(receiver.mode_env)
+            mp = minfo.mode_param
+            if mp.concrete is not None:
+                guard = closure = mp.concrete
+            elif minfo.has_attributor:
+                mode = self._eval_method_attributor(receiver, minfo, args)
+                guard = closure = mode
+                binding_var = mp.var
+                mode_env[mp.var] = mode
+            else:
+                assert mp.var is not None
+                binding_var = mp.var
+                inferred = self._infer_runtime_mode(minfo, args)
+                mode_env[mp.var] = inferred
+                guard = inferred
+                closure = (inferred if inferred is not None
+                           else receiver.effective_mode
+                           or frame.current_mode)
+        elif receiver.class_info.transparent:
+            # Mode-transparent (plain Java) receiver: no waterfall
+            # check; the body runs at the caller's mode.
+            guard = None
+            closure = frame.current_mode
+            self_call = True  # suppress the dfall check below
+        else:
+            guard = receiver.effective_mode
+            closure = guard if guard is not None else frame.current_mode
+        self._check_dfall(guard, frame.current_mode, self_call, receiver,
+                          minfo, span)
+        body_frame = _Frame(this_obj=receiver, mode_env=mode_env,
+                            current_mode=closure)
+        body_frame.push()
+        for name, value in zip(minfo.param_names, args):
+            body_frame.declare(name, value)
+        if binding_var is not None:
+            pass  # already in mode_env; nothing else to bind
+        assert minfo.decl is not None
+        try:
+            self._execute_block(minfo.decl.body, body_frame)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+    def _check_dfall(self, guard: Optional[Mode],
+                     sender: Optional[Mode], self_call: bool,
+                     receiver: ObjectV, minfo: MethodInfo, span) -> None:
+        """The dynamic waterfall invariant ``dfall(o, m)``."""
+        if self.options.baseline or not self.options.check_dfall:
+            return
+        if self_call:
+            # Internal view: an object may always message itself.
+            return
+        self.stats.dfall_checks += 1
+        if guard is None:
+            if self.options.silent:
+                return
+            raise StuckError(
+                f"messaging un-snapshotted dynamic object "
+                f"{receiver!r} (method {minfo.name}); a well-typed "
+                f"program cannot reach this state")
+        sender_mode = sender if sender is not None else TOP
+        holds = self.lattice.leq(guard, sender_mode)
+        if self.on_message is not None:
+            self.on_message(guard, sender_mode, holds)
+        if not holds and not self.options.silent:
+            self.stats.energy_exceptions += 1
+            raise EnergyException(
+                f"waterfall invariant violated: receiver mode "
+                f"{guard.name} > sender mode {sender_mode.name} "
+                f"(method {minfo.owner}.{minfo.name})",
+                mode=guard, upper=sender_mode)
+
+    def _eval_method_attributor(self, receiver: ObjectV,
+                                minfo: MethodInfo,
+                                args: List[object]) -> Mode:
+        assert minfo.decl is not None and minfo.decl.attributor is not None
+        attr_frame = _Frame(this_obj=receiver,
+                            mode_env=dict(receiver.mode_env),
+                            current_mode=BOTTOM)
+        attr_frame.push()
+        for name, value in zip(minfo.param_names, args):
+            attr_frame.declare(name, value)
+        return self._run_attributor_body(minfo.decl.attributor, attr_frame,
+                                         f"{minfo.owner}.{minfo.name}")
+
+    def _run_attributor_body(self, attributor: ast.AttributorDecl,
+                             frame: _Frame, what: str) -> Mode:
+        try:
+            self._execute_block(attributor.body, frame)
+        except _ReturnSignal as signal:
+            if not isinstance(signal.value, Mode):
+                raise EntRuntimeError(
+                    f"attributor of {what} returned a non-mode value: "
+                    f"{signal.value!r}")
+            return signal.value
+        raise EntRuntimeError(f"attributor of {what} did not return a mode")
+
+    def _infer_runtime_mode(self, minfo: MethodInfo,
+                            args: List[object]) -> Optional[Mode]:
+        """Runtime counterpart of the checker's generic-method inference:
+        read the binding off the argument objects' mode tags."""
+        var = minfo.mode_param.var
+        for ptype, value in zip(minfo.param_types, args):
+            if isinstance(ptype, ObjectType) and isinstance(value, ObjectV):
+                declared_info = self.table.get(ptype.class_name)
+                for index, atom in enumerate(ptype.mode_args):
+                    if atom == var:
+                        param = declared_info.params[index]
+                        if param.concrete is not None:
+                            return param.concrete
+                        return value.mode_env.get(param.var)
+        return None
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _execute_block(self, block: ast.Block, frame: _Frame) -> None:
+        """Run a body through the selected engine (walk or compiled)."""
+        if self.options.compile:
+            from repro.lang.compiler import compile_block
+            compile_block(self, block)(frame)
+        else:
+            self._exec_block(block, frame)
+
+    def _execute_expr(self, expr: ast.Expr, frame: _Frame,
+                      want_mcase: bool = False) -> object:
+        if self.options.compile:
+            from repro.lang.compiler import compile_expr
+            cache = getattr(self, "_compiled_cache", None)
+            if cache is None:
+                cache = self._compiled_cache = {}
+            key = (id(expr), want_mcase)
+            code = cache.get(key)
+            if code is None:
+                code = compile_expr(self, expr, want_mcase=want_mcase)
+                cache[key] = code
+            return code(frame)
+        return self._eval(expr, frame, want_mcase=want_mcase)
+
+    def _exec_block(self, block: ast.Block, frame: _Frame) -> None:
+        frame.push()
+        try:
+            for stmt in block.stmts:
+                self._exec_stmt(stmt, frame)
+        finally:
+            frame.pop()
+
+    def _exec_stmt(self, stmt: ast.Stmt, frame: _Frame) -> None:
+        self._tick()
+        if isinstance(stmt, ast.Block):
+            self._exec_block(stmt, frame)
+        elif isinstance(stmt, ast.LocalVarDecl):
+            wants = isinstance(getattr(stmt, "resolved_type", None),
+                               ty.MCaseType)
+            value = (self._eval(stmt.init, frame, want_mcase=wants)
+                     if stmt.init is not None
+                     else self._default_value(
+                         getattr(stmt, "resolved_type", ty.NULL)))
+            frame.declare(stmt.name, value)
+        elif isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, frame)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, frame)
+        elif isinstance(stmt, ast.If):
+            if self._truth(self._eval(stmt.cond, frame)):
+                self._exec_stmt(stmt.then, frame)
+            elif stmt.otherwise is not None:
+                self._exec_stmt(stmt.otherwise, frame)
+        elif isinstance(stmt, ast.While):
+            while self._truth(self._eval(stmt.cond, frame)):
+                try:
+                    self._exec_stmt(stmt.body, frame)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(stmt, ast.Foreach):
+            self._exec_foreach(stmt, frame)
+        elif isinstance(stmt, ast.Return):
+            wants = False
+            value = (self._eval(stmt.expr, frame, want_mcase=wants)
+                     if stmt.expr is not None else None)
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, ast.TryCatch):
+            try:
+                self._exec_stmt(stmt.body, frame)
+            except EnergyException as exc:
+                frame.push()
+                try:
+                    frame.declare(stmt.exc_var, str(exc))
+                    self._exec_stmt(stmt.handler, frame)
+                finally:
+                    frame.pop()
+        elif isinstance(stmt, ast.Throw):
+            message = self._eval(stmt.expr, frame)
+            self.stats.energy_exceptions += 1
+            raise EnergyException(self.render(message))
+        else:  # pragma: no cover
+            raise StuckError(f"unknown statement {type(stmt).__name__}")
+
+    def _truth(self, value: object) -> bool:
+        if isinstance(value, bool):
+            return value
+        raise StuckError(f"condition is not a boolean: {value!r}")
+
+    def _exec_assign(self, stmt: ast.Assign, frame: _Frame) -> None:
+        wants = bool(getattr(stmt, "wants_mcase", False))
+        value = self._eval(stmt.value, frame, want_mcase=wants)
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            if frame.assign(target.name, value):
+                return
+            if frame.this_obj is not None and (
+                    target.name in frame.this_obj.fields):
+                frame.this_obj.set_field(target.name, value)
+                return
+            raise StuckError(f"unknown variable {target.name!r}")
+        assert isinstance(target, ast.FieldAccess)
+        obj = self._eval(target.obj, frame)
+        if not isinstance(obj, ObjectV):
+            raise StuckError(f"cannot assign field of {obj!r}")
+        obj.set_field(target.name, value)
+
+    def _exec_foreach(self, stmt: ast.Foreach, frame: _Frame) -> None:
+        iterable = self._eval(stmt.iterable, frame)
+        if not isinstance(iterable, list):
+            raise StuckError("foreach requires a List")
+        for element in list(iterable):
+            frame.push()
+            try:
+                frame.declare(stmt.var_name, element)
+                self._exec_stmt(stmt.body, frame)
+            except _BreakSignal:
+                frame.pop()
+                break
+            except _ContinueSignal:
+                frame.pop()
+                continue
+            else:
+                frame.pop()
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def _eval(self, expr: ast.Expr, frame: _Frame,
+              want_mcase: bool = False) -> object:
+        self._tick()
+        value = self._eval_raw(expr, frame, want_mcase)
+        if isinstance(value, MCaseV) and not want_mcase:
+            value = self._eliminate(value, expr, frame)
+        return value
+
+    def _eliminate(self, mcase: MCaseV, expr: ast.Expr,
+                   frame: _Frame) -> object:
+        """Implicit mode-case elimination on the enclosing object's mode."""
+        self.stats.mcase_elims += 1
+        mode = getattr(expr, "_owner_mode", None)
+        if mode is None:
+            mode = frame.current_mode
+        return mcase.select(mode)
+
+    def _eval_raw(self, expr: ast.Expr, frame: _Frame,
+                  want_mcase: bool) -> object:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.StringLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.NullLit):
+            return None
+        if isinstance(expr, ast.This):
+            return frame.this_obj
+        if isinstance(expr, ast.Var):
+            return self._eval_var(expr, frame)
+        if isinstance(expr, ast.FieldAccess):
+            return self._eval_field_access(expr, frame)
+        if isinstance(expr, ast.MethodCall):
+            return self._eval_call(expr, frame)
+        if isinstance(expr, ast.New):
+            return self._eval_new(expr, frame)
+        if isinstance(expr, ast.Cast):
+            return self._eval_cast(expr, frame)
+        if isinstance(expr, ast.Snapshot):
+            return self._eval_snapshot(expr, frame)
+        if isinstance(expr, ast.MCaseExpr):
+            return self._eval_mcase(expr, frame)
+        if isinstance(expr, ast.MSelect):
+            return self._eval_mselect(expr, frame)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, frame)
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, frame)
+        if isinstance(expr, ast.ListLit):
+            return [self._eval(e, frame) for e in expr.elements]
+        if isinstance(expr, ast.InstanceOf):
+            return self._eval_instanceof(expr, frame)
+        raise StuckError(  # pragma: no cover
+            f"unknown expression {type(expr).__name__}")
+
+    def _eval_var(self, expr: ast.Var, frame: _Frame) -> object:
+        found, value = frame.lookup(expr.name)
+        if found:
+            return value
+        if frame.this_obj is not None and expr.name in frame.this_obj.fields:
+            value = frame.this_obj.fields[expr.name]
+            if isinstance(value, MCaseV):
+                expr._owner_mode = frame.this_obj.effective_mode
+            return value
+        mode = Mode(expr.name) if self._is_mode_name(expr.name) else None
+        if mode is not None:
+            return mode
+        if expr.name in NATIVE_STATIC_CLASSES:
+            return _NativeRef(expr.name)
+        raise StuckError(f"unknown variable {expr.name!r}")
+
+    def _is_mode_name(self, name: str) -> bool:
+        try:
+            return Mode(name) in self.lattice
+        except Exception:
+            return False
+
+    def _eval_field_access(self, expr: ast.FieldAccess,
+                           frame: _Frame) -> object:
+        obj = self._eval(expr.obj, frame)
+        if isinstance(obj, ObjectV):
+            value = obj.get_field(expr.name)
+            if isinstance(value, MCaseV):
+                # Elimination projects on the mode of the object that
+                # *encloses* the field.
+                expr._owner_mode = obj.effective_mode
+            return value
+        raise StuckError(f"cannot access field {expr.name!r} of {obj!r}")
+
+    def _eval_call(self, expr: ast.MethodCall, frame: _Frame) -> object:
+        if expr.receiver is None:
+            receiver: object = frame.this_obj
+            self_call = True
+        else:
+            receiver = self._eval(expr.receiver, frame)
+            self_call = (isinstance(expr.receiver, ast.This)
+                         or receiver is frame.this_obj)
+        if isinstance(receiver, _NativeRef):
+            args = [self._eval(a, frame) for a in expr.args]
+            return call_native_static(self, receiver.name, expr.name, args)
+        if isinstance(receiver, str):
+            args = [self._eval(a, frame) for a in expr.args]
+            return call_string_method(self, receiver, expr.name, args)
+        if isinstance(receiver, list):
+            args = [self._eval(a, frame) for a in expr.args]
+            return call_list_method(self, receiver, expr.name, args)
+        if isinstance(receiver, ObjectV):
+            minfo = self._find_method(receiver.class_info, expr.name)
+            if minfo is None:
+                raise StuckError(
+                    f"no method {expr.name!r} on class "
+                    f"{receiver.class_info.name}")
+            args = []
+            for arg_expr, ptype in zip(expr.args, minfo.param_types):
+                wants = isinstance(ptype, ty.MCaseType)
+                args.append(self._eval(arg_expr, frame, want_mcase=wants))
+            return self._invoke(receiver, minfo, args, frame,
+                                self_call=self_call, span=expr.span)
+        if receiver is None:
+            raise StuckError(
+                f"null receiver for method {expr.name!r}")
+        raise StuckError(f"cannot invoke {expr.name!r} on {receiver!r}")
+
+    def _eval_new(self, expr: ast.New, frame: _Frame) -> object:
+        resolved = getattr(expr, "resolved_type", None)
+        if resolved == ty.LIST:
+            return []
+        if resolved is None:
+            raise StuckError(
+                "new-expression was not typechecked (missing resolution)")
+        assert isinstance(resolved, ObjectType)
+        info = self.table.get(resolved.class_name)
+        ctor = info.decl.constructor if info.decl is not None else None
+        arg_values = []
+        if ctor is not None:
+            class_vars = {p.var for p in info.params if p.var}
+            for arg_expr in expr.args:
+                arg_values.append(self._eval(arg_expr, frame))
+        else:
+            arg_values = [self._eval(a, frame) for a in expr.args]
+        return self._construct(info, resolved.mode_args, arg_values, frame,
+                               expr.span)
+
+    def _eval_cast(self, expr: ast.Cast, frame: _Frame) -> object:
+        value = self._eval(expr.expr, frame)
+        target = getattr(expr, "resolved_target", None)
+        if target is None:
+            raise StuckError("cast was not typechecked")
+        if target == ty.INT:
+            if isinstance(value, (int, float)) and not isinstance(value,
+                                                                  bool):
+                return int(value)
+            raise BadCastError(f"cannot cast {value!r} to int")
+        if target == ty.DOUBLE:
+            if isinstance(value, (int, float)) and not isinstance(value,
+                                                                  bool):
+                return float(value)
+            raise BadCastError(f"cannot cast {value!r} to double")
+        if target == ty.BOOLEAN:
+            if isinstance(value, bool):
+                return value
+            raise BadCastError(f"cannot cast {value!r} to boolean")
+        if target == ty.STRING:
+            if value is None or isinstance(value, str):
+                return value
+            raise BadCastError(f"cannot cast {value!r} to String")
+        if target == ty.LIST:
+            if value is None or isinstance(value, list):
+                return value
+            raise BadCastError(f"cannot cast {value!r} to List")
+        if isinstance(target, ObjectType):
+            return self._cast_object(value, target, frame)
+        raise BadCastError(f"unsupported cast target {target}")
+
+    def _cast_object(self, value: object, target: ObjectType,
+                     frame: _Frame) -> object:
+        if value is None:
+            return None
+        if not isinstance(value, ObjectV):
+            raise BadCastError(
+                f"cannot cast {value!r} to {target}")
+        if not self.table.is_subclass(value.class_info.name,
+                                      target.class_name):
+            raise BadCastError(
+                f"bad cast: {value.class_info.name} is not a subclass of "
+                f"{target.class_name}")
+        target_mode = self._resolve_atom(target.omode, frame)
+        if target.omode is DYN:
+            return value
+        if target_mode is None:
+            # Unresolvable variable at run time: class check only.
+            return value
+        actual = value.effective_mode
+        if actual is None or actual != target_mode:
+            raise BadCastError(
+                f"bad cast: object mode "
+                f"{actual.name if actual else '?'} does not match "
+                f"{target_mode.name}")
+        return value
+
+    def _eval_snapshot(self, expr: ast.Snapshot, frame: _Frame) -> object:
+        value = self._eval(expr.expr, frame)
+        if not isinstance(value, ObjectV):
+            raise StuckError(f"cannot snapshot {value!r}")
+        attributor = self._find_attributor(value.class_info)
+        if attributor is None:
+            raise StuckError(
+                f"class {value.class_info.name} has no attributor")
+        self.stats.snapshots += 1
+        attr_frame = _Frame(this_obj=value,
+                            mode_env=dict(value.mode_env),
+                            current_mode=BOTTOM)
+        attr_frame.push()
+        mode = self._run_attributor_body(attributor, attr_frame,
+                                         value.class_info.name)
+        if self.options.baseline:
+            # Overhead baseline: no tagging bookkeeping, no checks.
+            first = value.class_info.params[0]
+            if first.var is not None:
+                value.mode_env[first.var] = mode
+            return value
+        lower, upper = self._snapshot_bounds(expr, frame)
+        self.stats.bound_checks += 1
+        ok = self.lattice.leq(lower, mode) and self.lattice.leq(mode, upper)
+        if self.on_snapshot is not None:
+            self.on_snapshot(value, mode, lower, upper, ok)
+        if not ok and not self.options.silent:
+            self.stats.energy_exceptions += 1
+            raise EnergyException(
+                f"bad check: attributor of {value.class_info.name} "
+                f"returned {mode.name}, outside [{lower.name}, "
+                f"{upper.name}]", mode=mode, lower=lower, upper=upper)
+        if self.options.lazy_copy and not value.is_snapshot:
+            self.stats.lazy_tags += 1
+            return value.tag_in_place(mode)
+        self.stats.copies += 1
+        return value.shallow_copy(mode)
+
+    def _snapshot_bounds(self, expr: ast.Snapshot, frame: _Frame):
+        bounds = getattr(expr, "resolved_bounds", (BOTTOM, TOP))
+        lower = self._resolve_atom(bounds[0], frame)
+        upper = self._resolve_atom(bounds[1], frame)
+        # An unresolvable bound variable degrades to the loosest bound.
+        return (lower if lower is not None else BOTTOM,
+                upper if upper is not None else TOP)
+
+    def _eval_mcase(self, expr: ast.MCaseExpr, frame: _Frame) -> MCaseV:
+        branches: Dict[Mode, object] = {}
+        default = MCaseV._MISSING
+        for branch in expr.branches:
+            value = self._eval(branch.expr, frame)
+            if branch.mode_name is None:
+                default = value
+            else:
+                branches[Mode(branch.mode_name)] = value
+        if default is MCaseV._MISSING:
+            return MCaseV(branches)
+        return MCaseV(branches, default)
+
+    def _eval_mselect(self, expr: ast.MSelect, frame: _Frame) -> object:
+        value = self._eval(expr.expr, frame, want_mcase=True)
+        if not isinstance(value, MCaseV):
+            raise StuckError(f"mselect on non-mcase value {value!r}")
+        atom = getattr(expr, "resolved_mode", expr.mode_name)
+        mode = self._resolve_atom(atom, frame)
+        self.stats.mcase_elims += 1
+        return value.select(mode)
+
+    def _eval_binary(self, expr: ast.Binary, frame: _Frame) -> object:
+        op = expr.op
+        if op == "&&":
+            left = self._eval(expr.left, frame)
+            if not self._truth(left):
+                return False
+            return self._truth(self._eval(expr.right, frame))
+        if op == "||":
+            left = self._eval(expr.left, frame)
+            if self._truth(left):
+                return True
+            return self._truth(self._eval(expr.right, frame))
+        left = self._eval(expr.left, frame)
+        right = self._eval(expr.right, frame)
+        if op == "==":
+            return self.values_equal(left, right)
+        if op == "!=":
+            return not self.values_equal(left, right)
+        if op == "+" and (isinstance(left, str) or isinstance(right, str)):
+            return self.render(left) + self.render(right)
+        if not self._is_number(left) or not self._is_number(right):
+            raise StuckError(
+                f"operator {op!r} on non-numeric operands "
+                f"{left!r}, {right!r}")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise EntRuntimeError("division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                return int(left / right)  # Java truncating division
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise EntRuntimeError("modulo by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                return left - int(left / right) * right
+            return left % right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise StuckError(f"unknown operator {op!r}")  # pragma: no cover
+
+    @staticmethod
+    def _is_number(value: object) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value,
+                                                                  bool)
+
+    def _eval_unary(self, expr: ast.Unary, frame: _Frame) -> object:
+        value = self._eval(expr.expr, frame)
+        if expr.op == "-":
+            if self._is_number(value):
+                return -value
+            raise StuckError(f"cannot negate {value!r}")
+        if expr.op == "!":
+            return not self._truth(value)
+        raise StuckError(f"unknown unary {expr.op!r}")  # pragma: no cover
+
+    def _eval_instanceof(self, expr: ast.InstanceOf,
+                         frame: _Frame) -> bool:
+        value = self._eval(expr.expr, frame)
+        if value is None:
+            return False
+        if not isinstance(value, ObjectV):
+            return False
+        return self.table.is_subclass(value.class_info.name,
+                                      expr.class_name)
+
+
+def run_source(source: str, args: Optional[List[str]] = None,
+               platform=None, options: Optional[InterpOptions] = None,
+               seed: int = 0, strict_mcase_coverage: bool = True):
+    """Parse, typecheck and run an ENT program; returns the interpreter
+    (inspect ``.output``, ``.stats``, and the returned value)."""
+    from repro.lang.typechecker import check_program
+
+    checked = check_program(source,
+                            strict_mcase_coverage=strict_mcase_coverage)
+    interp = Interpreter(checked, platform=platform, options=options,
+                         seed=seed)
+    result = interp.run(args)
+    interp.result = result
+    return interp

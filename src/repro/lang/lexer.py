@@ -1,0 +1,208 @@
+"""A hand-written lexer for the ENT surface language.
+
+Supports Java-style ``//`` and ``/* */`` comments, decimal integer and
+floating literals, double-quoted strings with the usual escapes, and the
+operator set listed in :mod:`repro.lang.tokens`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.core.errors import EntSyntaxError, SourceSpan
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+    "'": "'",
+    "0": "\0",
+}
+
+# Multi-character operators must be tried longest-first.
+_OPERATORS = [
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("&&", TokenKind.AND),
+    ("||", TokenKind.OR),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    (";", TokenKind.SEMI),
+    (",", TokenKind.COMMA),
+    (".", TokenKind.DOT),
+    (":", TokenKind.COLON),
+    ("@", TokenKind.AT),
+    ("?", TokenKind.QUESTION),
+    ("=", TokenKind.ASSIGN),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+    ("!", TokenKind.NOT),
+]
+
+
+class Lexer:
+    """Tokenizes ENT source text."""
+
+    def __init__(self, source: str, filename: str = "<ent>") -> None:
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    # ------------------------------------------------------------------
+
+    def tokenize(self) -> List[Token]:
+        """Produce the full token stream, ending with an EOF token."""
+        return list(self)
+
+    def __iter__(self) -> Iterator[Token]:
+        while True:
+            token = self._next_token()
+            yield token
+            if token.kind is TokenKind.EOF:
+                return
+
+    # ------------------------------------------------------------------
+
+    def _span(self) -> SourceSpan:
+        return SourceSpan(self._line, self._column, filename=self._filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._source):
+                return
+            ch = self._source[self._pos]
+            self._pos += 1
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._span()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._pos >= len(self._source):
+                        raise EntSyntaxError("unterminated block comment",
+                                             start)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        span = self._span()
+        if self._pos >= len(self._source):
+            return Token(TokenKind.EOF, "", span)
+
+        ch = self._peek()
+        if ch.isdigit():
+            return self._lex_number(span)
+        if ch == '"':
+            return self._lex_string(span)
+        if ch.isalpha() or ch == "_" or ch == "$":
+            return self._lex_word(span)
+
+        for text, kind in _OPERATORS:
+            if self._source.startswith(text, self._pos):
+                self._advance(len(text))
+                return Token(kind, text, span)
+
+        raise EntSyntaxError(f"unexpected character {ch!r}", span)
+
+    def _lex_number(self, span: SourceSpan) -> Token:
+        start = self._pos
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() and self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) and self._peek(1) in "+-"
+                    and self._peek(2).isdigit())):
+            is_float = True
+            self._advance()
+            if self._peek() and self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self._source[start:self._pos]
+        if is_float:
+            return Token(TokenKind.FLOAT, text, span, float(text))
+        return Token(TokenKind.INT, text, span, int(text))
+
+    def _lex_string(self, span: SourceSpan) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise EntSyntaxError("unterminated string literal", span)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                escape = self._peek(1)
+                if escape not in _ESCAPES:
+                    raise EntSyntaxError(
+                        f"invalid escape sequence \\{escape}", self._span())
+                chars.append(_ESCAPES[escape])
+                self._advance(2)
+            else:
+                chars.append(ch)
+                self._advance()
+        value = "".join(chars)
+        return Token(TokenKind.STRING, f'"{value}"', span, value)
+
+    def _lex_word(self, span: SourceSpan) -> Token:
+        start = self._pos
+        while True:
+            ch = self._peek()
+            if not ch or not (ch.isalnum() or ch in "_$"):
+                break
+            self._advance()
+        text = self._source[start:self._pos]
+        if text == "_":
+            return Token(TokenKind.UNDERSCORE, text, span)
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, span)
+
+
+def tokenize(source: str, filename: str = "<ent>") -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` into a list of tokens."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,207 @@
+"""Pretty-printer: AST back to concrete ENT syntax.
+
+Primarily used by tests (parse/print round-trips) and error tooling.
+The output re-parses to a structurally identical AST.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast_nodes as ast
+
+_INDENT = "    "
+
+
+def pretty_program(program: ast.Program) -> str:
+    parts: List[str] = []
+    for decl in program.modes:
+        parts.append(_pretty_modes(decl))
+    for cls in program.classes:
+        parts.append(pretty_class(cls))
+    return "\n\n".join(parts) + "\n"
+
+
+def _pretty_modes(decl: ast.ModesDecl) -> str:
+    clauses = [f"{a} <= {b};" for a, b in decl.pairs]
+    clauses.extend(f"{name};" for name in decl.singletons)
+    return "modes { " + " ".join(clauses) + " }"
+
+
+def _pretty_mode_param(node: ast.ModeParamNode) -> str:
+    prefix = "?" if node.dynamic else ""
+    if node.var is None:
+        return prefix
+    if node.lower is not None and node.upper is not None:
+        return f"{prefix}{node.lower} <= {node.var} <= {node.upper}"
+    if node.upper is not None:
+        return f"{prefix}{node.var} <= {node.upper}"
+    return f"{prefix}{node.var}"
+
+
+def _pretty_mode_args(args: Optional[List[ast.ModeArgNode]]) -> str:
+    if args is None:
+        return ""
+    rendered = ", ".join("?" if a.dynamic else str(a.name) for a in args)
+    return f"@mode<{rendered}>"
+
+
+def pretty_type(node: ast.TypeNode) -> str:
+    if isinstance(node, ast.PrimTypeNode):
+        return node.name
+    if isinstance(node, ast.MCaseTypeNode):
+        return f"mcase<{pretty_type(node.element)}>"
+    assert isinstance(node, ast.ClassTypeNode)
+    return node.name + _pretty_mode_args(node.mode_args)
+
+
+def pretty_class(cls: ast.ClassDecl) -> str:
+    header = f"class {cls.name}"
+    if cls.mode_param is not None:
+        params = [cls.mode_param] + cls.extra_params
+        rendered = ", ".join(_pretty_mode_param(p) for p in params)
+        header += f"@mode<{rendered}>"
+    if cls.superclass != "Object":
+        header += f" extends {cls.superclass}"
+        header += _pretty_mode_args(cls.super_mode_args)
+    lines = [header + " {"]
+    for fdecl in cls.fields:
+        init = f" = {pretty_expr(fdecl.init)}" if fdecl.init else ""
+        lines.append(f"{_INDENT}{pretty_type(fdecl.declared)} "
+                     f"{fdecl.name}{init};")
+    if cls.attributor is not None:
+        lines.append(f"{_INDENT}attributor "
+                     + _pretty_block(cls.attributor.body, 1))
+    if cls.constructor is not None:
+        params = ", ".join(f"{pretty_type(p.declared)} {p.name}"
+                           for p in cls.constructor.params)
+        lines.append(f"{_INDENT}{cls.name}({params}) "
+                     + _pretty_block(cls.constructor.body, 1))
+    for method in cls.methods:
+        lines.append(_pretty_method(method))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _pretty_method(method: ast.MethodDecl) -> str:
+    prefix = ""
+    if method.mode_param is not None:
+        prefix = f"@mode<{_pretty_mode_param(method.mode_param)}> "
+    params = ", ".join(f"{pretty_type(p.declared)} {p.name}"
+                       for p in method.params)
+    header = (f"{_INDENT}{prefix}{pretty_type(method.return_type)} "
+              f"{method.name}({params}) ")
+    if method.attributor is not None:
+        header += "attributor " + _pretty_block(method.attributor.body,
+                                                1) + " "
+    return header + _pretty_block(method.body, 1)
+
+
+def _pretty_block(block: ast.Block, depth: int) -> str:
+    pad = _INDENT * (depth + 1)
+    close = _INDENT * depth
+    if not block.stmts:
+        return "{ }"
+    lines = ["{"]
+    for stmt in block.stmts:
+        lines.append(pad + pretty_stmt(stmt, depth + 1))
+    lines.append(close + "}")
+    return "\n".join(lines)
+
+
+def pretty_stmt(stmt: ast.Stmt, depth: int = 0) -> str:
+    if isinstance(stmt, ast.Block):
+        return _pretty_block(stmt, depth)
+    if isinstance(stmt, ast.LocalVarDecl):
+        init = f" = {pretty_expr(stmt.init)}" if stmt.init else ""
+        return f"{pretty_type(stmt.declared)} {stmt.name}{init};"
+    if isinstance(stmt, ast.Assign):
+        return f"{pretty_expr(stmt.target)} = {pretty_expr(stmt.value)};"
+    if isinstance(stmt, ast.ExprStmt):
+        return f"{pretty_expr(stmt.expr)};"
+    if isinstance(stmt, ast.If):
+        out = (f"if ({pretty_expr(stmt.cond)}) "
+               f"{pretty_stmt(stmt.then, depth)}")
+        if stmt.otherwise is not None:
+            out += f" else {pretty_stmt(stmt.otherwise, depth)}"
+        return out
+    if isinstance(stmt, ast.While):
+        return (f"while ({pretty_expr(stmt.cond)}) "
+                f"{pretty_stmt(stmt.body, depth)}")
+    if isinstance(stmt, ast.Foreach):
+        return (f"foreach ({pretty_type(stmt.var_type)} {stmt.var_name} : "
+                f"{pretty_expr(stmt.iterable)}) "
+                f"{pretty_stmt(stmt.body, depth)}")
+    if isinstance(stmt, ast.Return):
+        if stmt.expr is None:
+            return "return;"
+        return f"return {pretty_expr(stmt.expr)};"
+    if isinstance(stmt, ast.Break):
+        return "break;"
+    if isinstance(stmt, ast.Continue):
+        return "continue;"
+    if isinstance(stmt, ast.TryCatch):
+        return (f"try {pretty_stmt(stmt.body, depth)} catch "
+                f"({stmt.exc_class} {stmt.exc_var}) "
+                f"{pretty_stmt(stmt.handler, depth)}")
+    if isinstance(stmt, ast.Throw):
+        return f"throw {pretty_expr(stmt.expr)};"
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def pretty_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, ast.StringLit):
+        escaped = (expr.value.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\t", "\\t"))
+        return f'"{escaped}"'
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.NullLit):
+        return "null"
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.This):
+        return "this"
+    if isinstance(expr, ast.FieldAccess):
+        return f"{pretty_expr(expr.obj)}.{expr.name}"
+    if isinstance(expr, ast.MethodCall):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        if expr.receiver is None:
+            return f"{expr.name}({args})"
+        return f"{pretty_expr(expr.receiver)}.{expr.name}({args})"
+    if isinstance(expr, ast.New):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return (f"new {expr.class_name}"
+                f"{_pretty_mode_args(expr.mode_args)}({args})")
+    if isinstance(expr, ast.Cast):
+        return f"(({pretty_type(expr.target)}) {pretty_expr(expr.expr)})"
+    if isinstance(expr, ast.Snapshot):
+        out = f"snapshot {pretty_expr(expr.expr)}"
+        if expr.lower is not None or expr.upper is not None:
+            lo = expr.lower.name if expr.lower and expr.lower.name else "_"
+            hi = expr.upper.name if expr.upper and expr.upper.name else "_"
+            out += f" [{lo}, {hi}]"
+        return out
+    if isinstance(expr, ast.MCaseExpr):
+        element = (f"<{pretty_type(expr.element)}>"
+                   if expr.element is not None else "")
+        branches = " ".join(
+            f"{b.mode_name if b.mode_name else 'default'}: "
+            f"{pretty_expr(b.expr)};" for b in expr.branches)
+        return f"mcase{element}{{ {branches} }}"
+    if isinstance(expr, ast.MSelect):
+        return f"mselect({pretty_expr(expr.expr)}, {expr.mode_name})"
+    if isinstance(expr, ast.Binary):
+        return (f"({pretty_expr(expr.left)} {expr.op} "
+                f"{pretty_expr(expr.right)})")
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{pretty_expr(expr.expr)})"
+    if isinstance(expr, ast.ListLit):
+        return "[" + ", ".join(pretty_expr(e) for e in expr.elements) + "]"
+    if isinstance(expr, ast.InstanceOf):
+        return f"({pretty_expr(expr.expr)} instanceof {expr.class_name})"
+    raise TypeError(f"unknown expression {type(expr).__name__}")

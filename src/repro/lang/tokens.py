@@ -1,0 +1,127 @@
+"""Token definitions for the ENT surface language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import SourceSpan
+
+
+class TokenKind(enum.Enum):
+    # Literals and identifiers
+    IDENT = "IDENT"
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+
+    # Keywords
+    KW_MODES = "modes"
+    KW_CLASS = "class"
+    KW_EXTENDS = "extends"
+    KW_ATTRIBUTOR = "attributor"
+    KW_SNAPSHOT = "snapshot"
+    KW_MCASE = "mcase"
+    KW_MSELECT = "mselect"
+    KW_NEW = "new"
+    KW_RETURN = "return"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_FOREACH = "foreach"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_TRY = "try"
+    KW_CATCH = "catch"
+    KW_THROW = "throw"
+    KW_THIS = "this"
+    KW_NULL = "null"
+    KW_TRUE = "true"
+    KW_FALSE = "false"
+    KW_DEFAULT = "default"
+    KW_VOID = "void"
+    KW_INT = "int"
+    KW_DOUBLE = "double"
+    KW_BOOLEAN = "boolean"
+    KW_STRING_TYPE = "String"
+    KW_MODE_TYPE = "mode"
+    KW_INSTANCEOF = "instanceof"
+
+    # Punctuation and operators
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    DOT = "."
+    COLON = ":"
+    AT = "@"
+    QUESTION = "?"
+    UNDERSCORE = "_"
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+
+    EOF = "EOF"
+
+
+#: Reserved words mapped to their token kinds.
+KEYWORDS = {
+    "modes": TokenKind.KW_MODES,
+    "class": TokenKind.KW_CLASS,
+    "extends": TokenKind.KW_EXTENDS,
+    "attributor": TokenKind.KW_ATTRIBUTOR,
+    "snapshot": TokenKind.KW_SNAPSHOT,
+    "mcase": TokenKind.KW_MCASE,
+    "mselect": TokenKind.KW_MSELECT,
+    "new": TokenKind.KW_NEW,
+    "return": TokenKind.KW_RETURN,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "foreach": TokenKind.KW_FOREACH,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+    "try": TokenKind.KW_TRY,
+    "catch": TokenKind.KW_CATCH,
+    "throw": TokenKind.KW_THROW,
+    "this": TokenKind.KW_THIS,
+    "null": TokenKind.KW_NULL,
+    "true": TokenKind.KW_TRUE,
+    "false": TokenKind.KW_FALSE,
+    "default": TokenKind.KW_DEFAULT,
+    "void": TokenKind.KW_VOID,
+    "int": TokenKind.KW_INT,
+    "double": TokenKind.KW_DOUBLE,
+    "boolean": TokenKind.KW_BOOLEAN,
+    "String": TokenKind.KW_STRING_TYPE,
+    "mode": TokenKind.KW_MODE_TYPE,
+    "instanceof": TokenKind.KW_INSTANCEOF,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    span: SourceSpan
+    value: Optional[object] = None  # decoded literal value, if any
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.span}"

@@ -1,0 +1,147 @@
+"""Run-time values for the ENT interpreter.
+
+Primitive ENT values map directly onto Python: ``int``, ``float``,
+``bool``, ``str`` and ``None`` (null).  Mode values are
+:class:`~repro.core.modes.Mode` instances, lists are plain Python lists.
+Two value kinds are ENT-specific:
+
+* :class:`ObjectV` — an object with the run-time metadata the paper's
+  section 5 describes: a mode tag for dynamic objects, a "snapshotted"
+  bit driving the lazy-copy optimization, and — for generic objects — a
+  mapping from mode type parameters to mode tags.
+* :class:`MCaseV` — a mode-case value ``mcase⟨T⟩{m : v}``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.core.errors import EntRuntimeError
+from repro.core.modes import Mode
+from repro.lang.types import ClassInfo
+
+__all__ = ["ObjectV", "MCaseV"]
+
+_object_ids = itertools.count(1)
+
+
+class ObjectV:
+    """An ENT object value (the paper's ``obj(α, c⟨µ, ι⟩, v)``).
+
+    ``mode_env`` maps every mode parameter variable of the object's class
+    *and its ancestors* to a concrete :class:`Mode`, or to ``None`` for
+    the dynamic mode ``?``.  The object's own mode (``omode``) is the
+    first parameter's entry — ``None`` exactly when the object is an
+    un-snapshotted dynamic object.
+    """
+
+    __slots__ = ("oid", "class_info", "mode_env", "fields", "is_snapshot",
+                 "snap_tagged")
+
+    def __init__(self, class_info: ClassInfo,
+                 mode_env: Dict[str, Optional[Mode]],
+                 fields: Dict[str, object],
+                 is_snapshot: bool = False) -> None:
+        self.oid = next(_object_ids)
+        self.class_info = class_info
+        self.mode_env = mode_env
+        self.fields = fields
+        #: True once this storage has been given a concrete mode by a
+        #: snapshot (including an in-place lazy tag).
+        self.is_snapshot = is_snapshot
+        #: True if a lazy in-place snapshot already claimed this storage;
+        #: the next snapshot must physically copy.
+        self.snap_tagged = False
+
+    @property
+    def effective_mode(self) -> Optional[Mode]:
+        """The object's concrete mode, or None for dynamic ``?``."""
+        params = self.class_info.params
+        if not params:
+            return None
+        first = params[0]
+        if first.concrete is not None:
+            return first.concrete
+        assert first.var is not None
+        return self.mode_env.get(first.var)
+
+    def shallow_copy(self, mode: Mode) -> "ObjectV":
+        """The paper's snapshot copy semantics: a shallow copy whose mode
+        tag is ``mode``.  Field *values* are shared; the field map is new,
+        enforcing monotonic type change without aliasing equivocation."""
+        env = dict(self.mode_env)
+        first = self.class_info.params[0]
+        assert first.var is not None, "cannot re-mode a fixed-mode class"
+        env[first.var] = mode
+        return ObjectV(self.class_info, env, dict(self.fields),
+                       is_snapshot=True)
+
+    def tag_in_place(self, mode: Mode) -> "ObjectV":
+        """Lazy-copy optimization: the first snapshot of a dynamic object
+        tags the existing storage instead of copying (section 5)."""
+        first = self.class_info.params[0]
+        assert first.var is not None
+        self.mode_env[first.var] = mode
+        self.is_snapshot = True
+        self.snap_tagged = True
+        return self
+
+    def get_field(self, name: str) -> object:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise EntRuntimeError(
+                f"object of class {self.class_info.name} has no field "
+                f"{name!r}") from None
+
+    def set_field(self, name: str, value: object) -> None:
+        if name not in self.fields:
+            raise EntRuntimeError(
+                f"object of class {self.class_info.name} has no field "
+                f"{name!r}")
+        self.fields[name] = value
+
+    def __repr__(self) -> str:
+        mode = self.effective_mode
+        tag = mode.name if mode is not None else "?"
+        return f"<{self.class_info.name}@{tag} #{self.oid}>"
+
+
+class MCaseV:
+    """A mode-case value: a tagged union over modes.
+
+    ``branches`` maps each declared mode to its (already evaluated)
+    value; ``default`` holds the value of an optional ``default:`` branch.
+    """
+
+    __slots__ = ("branches", "default", "has_default")
+
+    _MISSING = object()
+
+    def __init__(self, branches: Dict[Mode, object],
+                 default: object = _MISSING) -> None:
+        self.branches = branches
+        self.has_default = default is not MCaseV._MISSING
+        self.default = None if not self.has_default else default
+
+    def select(self, mode: Optional[Mode]) -> object:
+        """Eliminate against ``mode`` (the paper's ``e ◃ η``)."""
+        if mode is None:
+            raise EntRuntimeError(
+                "cannot eliminate a mode case against a dynamic mode; "
+                "snapshot the enclosing object first")
+        if mode in self.branches:
+            return self.branches[mode]
+        if self.has_default:
+            return self.default
+        names = ", ".join(sorted(m.name for m in self.branches))
+        raise EntRuntimeError(
+            f"mode case has no branch for mode {mode.name} "
+            f"(branches: {names})")
+
+    def __repr__(self) -> str:
+        parts = [f"{m.name}: {v!r}" for m, v in self.branches.items()]
+        if self.has_default:
+            parts.append(f"default: {self.default!r}")
+        return "mcase{" + "; ".join(parts) + "}"

@@ -1,0 +1,204 @@
+"""CPU model: DVFS frequency levels, dynamic power, and governors.
+
+Abstract work is measured in *units* of one million operations.  At a
+given frequency level the CPU retires ``freq_ghz * 1e9 * ipc`` ops per
+second and dissipates ``idle + k * f * V^2`` watts — the classic CMOS
+dynamic-power form the paper's mode intuition rests on (its reference
+[31], Chandrakasan et al.).
+
+The default governor is ``ondemand`` (the paper runs every platform on
+its default governor): it ramps to the highest level when recent
+utilization is high and steps down when the system idles, which is what
+produces the paper's System-B observation that lower application duty
+cycles let the *hardware* drop to a lower-power mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: One work unit = this many operations.
+OPS_PER_UNIT = 1.0e6
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a CPU's DVFS operating points."""
+
+    name: str
+    freqs_ghz: Tuple[float, ...]
+    voltages: Tuple[float, ...]
+    ipc: float
+    idle_w: float
+    #: Dynamic power coefficient: P_dyn = k * f_ghz * V^2 (watts).
+    dyn_coeff: float
+
+    def __post_init__(self) -> None:
+        if len(self.freqs_ghz) != len(self.voltages):
+            raise ValueError("freqs and voltages must align")
+        if not self.freqs_ghz:
+            raise ValueError("CPU needs at least one operating point")
+        if list(self.freqs_ghz) != sorted(self.freqs_ghz):
+            raise ValueError("frequency levels must be ascending")
+
+    @property
+    def levels(self) -> int:
+        return len(self.freqs_ghz)
+
+    def ops_per_second(self, level: int) -> float:
+        return self.freqs_ghz[level] * 1.0e9 * self.ipc
+
+    def idle_power(self, level: int) -> float:
+        """Static/leakage power at a DVFS level.
+
+        Leakage tracks the supply voltage (roughly quadratically), so a
+        lower operating point also cuts the idle floor — this is what
+        makes DVFS a net win rather than race-to-idle always dominating.
+        ``idle_w`` is the figure at the top level.
+        """
+        v_max = self.voltages[-1]
+        ratio = self.voltages[level] / v_max
+        return self.idle_w * ratio * ratio
+
+    def busy_power(self, level: int) -> float:
+        freq = self.freqs_ghz[level]
+        volt = self.voltages[level]
+        return self.idle_power(level) + self.dyn_coeff * freq * volt * volt
+
+    def max_power(self) -> float:
+        return self.busy_power(self.levels - 1)
+
+
+class OndemandGovernor:
+    """An ``ondemand``-style DVFS governor.
+
+    Tracks an exponentially weighted utilization and maps it to a
+    frequency level: jump to the top level when utilization crosses the
+    up-threshold (as Linux ondemand does), otherwise scale the level
+    proportionally as utilization decays.
+    """
+
+    def __init__(self, levels: int, up_threshold: float = 0.8,
+                 window_s: float = 0.5) -> None:
+        if levels < 1:
+            raise ValueError("need at least one level")
+        self.levels = levels
+        self.up_threshold = up_threshold
+        self.window_s = window_s
+        self._util = 0.0
+
+    @property
+    def utilization(self) -> float:
+        return self._util
+
+    def observe(self, busy: bool, duration_s: float) -> None:
+        """Fold a busy/idle interval into the utilization estimate."""
+        if duration_s <= 0:
+            return
+        # Exponential forgetting with the window as time constant.
+        import math
+        alpha = 1.0 - math.exp(-duration_s / self.window_s)
+        target = 1.0 if busy else 0.0
+        self._util += alpha * (target - self._util)
+
+    def select_level(self) -> int:
+        if self.levels == 1:
+            return 0
+        if self._util >= self.up_threshold:
+            return self.levels - 1
+        scaled = int(self._util / self.up_threshold * (self.levels - 1))
+        return max(0, min(self.levels - 1, scaled))
+
+
+class PerformanceGovernor:
+    """Always runs at the highest frequency level."""
+
+    def __init__(self, levels: int) -> None:
+        self.levels = levels
+        self._util = 1.0
+
+    @property
+    def utilization(self) -> float:
+        return self._util
+
+    def observe(self, busy: bool, duration_s: float) -> None:
+        pass
+
+    def select_level(self) -> int:
+        return self.levels - 1
+
+
+class Cpu:
+    """A CPU executing abstract work under a governor."""
+
+    def __init__(self, spec: CpuSpec, governor: str = "ondemand") -> None:
+        self.spec = spec
+        if governor == "ondemand":
+            self.governor = OndemandGovernor(spec.levels)
+        elif governor == "performance":
+            self.governor = PerformanceGovernor(spec.levels)
+        else:
+            raise ValueError(f"unknown governor {governor!r}")
+        self.current_level = self.governor.select_level()
+        self.total_work_units = 0.0
+
+    def execute(self, units: float) -> Tuple[float, float]:
+        """Run ``units`` of work; returns ``(duration_s, power_w)``.
+
+        The governor sees the work as a fully busy interval and may
+        raise the level for subsequent work.
+        """
+        if units < 0:
+            raise ValueError("work units must be non-negative")
+        if units == 0:
+            return 0.0, self.spec.idle_w
+        level = self.governor.select_level()
+        self.current_level = level
+        duration = units * OPS_PER_UNIT / self.spec.ops_per_second(level)
+        power = self.spec.busy_power(level)
+        self.governor.observe(True, duration)
+        self.total_work_units += units
+        return duration, power
+
+    def idle(self, duration_s: float) -> float:
+        """Account an idle interval; returns the idle power draw at the
+        level the governor settles on."""
+        self.governor.observe(False, duration_s)
+        self.current_level = self.governor.select_level()
+        return self.spec.idle_power(self.current_level)
+
+
+# ---------------------------------------------------------------------------
+# Specs for the paper's three systems
+
+
+#: System A: Intel i5 laptop (4 GB RAM, Ubuntu 14.04, Java 1.8).
+INTEL_I5 = CpuSpec(
+    name="intel-i5",
+    freqs_ghz=(0.8, 1.6, 2.4, 3.0),
+    voltages=(0.70, 0.85, 1.00, 1.10),
+    ipc=4.0,
+    idle_w=6.0,
+    dyn_coeff=6.5,   # peak ~ 6 + 6.5*3.0*1.21 ≈ 29.6 W package
+)
+
+#: System B: Raspberry Pi 2 Model B (BCM2836, 1 GB RAM, Raspbian Jessie).
+PI2_BCM2836 = CpuSpec(
+    name="pi2-bcm2836",
+    freqs_ghz=(0.6, 0.9),
+    voltages=(1.20, 1.3125),
+    ipc=1.0,
+    idle_w=1.1,
+    dyn_coeff=1.4,   # peak ~ 1.1 + 1.4*0.9*1.72 ≈ 3.3 W board CPU share
+)
+
+#: System C: Nexus 5X (Snapdragon 808, Android 6.0, ART).
+SNAPDRAGON_808 = CpuSpec(
+    name="snapdragon-808",
+    freqs_ghz=(0.38, 0.96, 1.44, 1.82),
+    voltages=(0.70, 0.85, 1.00, 1.125),
+    ipc=2.0,
+    idle_w=0.35,
+    dyn_coeff=1.55,  # peak ~ 0.35 + 1.55*1.82*1.27 ≈ 3.9 W SoC
+)

@@ -1,0 +1,97 @@
+"""Energy meters: simulated jRAPL, Watts Up? Pro, and BatteryManager.
+
+The paper measures energy three different ways:
+
+* System A — jRAPL over Intel RAPL counters: CPU *package* energy only,
+  fine-grained windows, very low measurement noise.
+* System B — a Watts Up? Pro wall meter: whole-device power including
+  peripherals (keyboard/mouse/HDMI/ethernet were attached), 1 Hz-ish
+  integration, moderate noise.
+* System C — Android's BatteryManager + wall meter: device energy with
+  the highest run-to-run variation (touch replay, radios).
+
+All meters observe the same underlying platform energy ledger; they
+differ in which components they see and the measurement noise they add.
+Noise is seeded so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class EnergyLedger:
+    """Ground-truth energy accounting, split by component."""
+
+    cpu_j: float = 0.0
+    peripheral_j: float = 0.0
+    io_j: float = 0.0
+    net_j: float = 0.0
+    display_j: float = 0.0
+
+    def add(self, component: str, joules: float) -> None:
+        setattr(self, component, getattr(self, component) + joules)
+
+    @property
+    def total_j(self) -> float:
+        return (self.cpu_j + self.peripheral_j + self.io_j + self.net_j
+                + self.display_j)
+
+    def snapshot(self) -> "EnergyLedger":
+        return EnergyLedger(self.cpu_j, self.peripheral_j, self.io_j,
+                            self.net_j, self.display_j)
+
+
+class Meter:
+    """Base meter: measure a window of the platform's energy ledger."""
+
+    #: Which ledger components this meter observes.
+    components: tuple = ("cpu_j",)
+    #: Relative gaussian measurement noise (1 sigma).
+    noise_rel: float = 0.0
+
+    def __init__(self, ledger: EnergyLedger,
+                 rng: Optional[random.Random] = None) -> None:
+        self._ledger = ledger
+        self._rng = rng if rng is not None else random.Random(0)
+        self._start: Optional[EnergyLedger] = None
+
+    def begin(self) -> None:
+        self._start = self._ledger.snapshot()
+
+    def end(self) -> float:
+        """Joules consumed (as observed by this meter) since begin()."""
+        if self._start is None:
+            raise RuntimeError("meter window not started; call begin()")
+        consumed = 0.0
+        for component in self.components:
+            consumed += (getattr(self._ledger, component)
+                         - getattr(self._start, component))
+        self._start = None
+        if self.noise_rel > 0.0:
+            consumed *= max(0.0, 1.0 + self._rng.gauss(0.0, self.noise_rel))
+        return consumed
+
+
+class RaplMeter(Meter):
+    """jRAPL-style meter: CPU package energy only (System A)."""
+
+    components = ("cpu_j",)
+    noise_rel = 0.004
+
+
+class WattsUpMeter(Meter):
+    """Watts Up? Pro wall meter: whole device (System B)."""
+
+    components = ("cpu_j", "peripheral_j", "io_j", "net_j", "display_j")
+    noise_rel = 0.006
+
+
+class BatteryManagerMeter(Meter):
+    """Android battery accounting (System C): whole device, noisier."""
+
+    components = ("cpu_j", "peripheral_j", "io_j", "net_j", "display_j")
+    noise_rel = 0.018

@@ -1,0 +1,83 @@
+"""RERAN-style record-and-replay of user interaction (System C).
+
+The paper drives its Android benchmarks with RERAN [38], a timing- and
+touch-sensitive record/replay framework, and notes that "there is still
+a level of non-determinism involved with running Apps".  We model a
+recording as a list of timestamped events and a replay as the same
+sequence with bounded timing jitter, so repeated runs of an Android
+workload differ slightly — reproducing System C's higher relative
+standard deviation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TouchEvent:
+    """One recorded interaction event."""
+
+    at_s: float
+    kind: str            # "tap", "scroll", "type", "key"
+    payload: str = ""
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("event time must be non-negative")
+
+
+class Recording:
+    """An ordered sequence of touch events (a RERAN trace)."""
+
+    def __init__(self, events: Sequence[TouchEvent]) -> None:
+        self.events: List[TouchEvent] = sorted(events,
+                                               key=lambda e: e.at_s)
+
+    @classmethod
+    def script(cls, steps: Sequence[Tuple[float, str, str]]) -> "Recording":
+        """Build a recording from ``(gap_seconds, kind, payload)`` steps
+        (gaps are relative to the previous event)."""
+        events = []
+        t = 0.0
+        for gap, kind, payload in steps:
+            t += gap
+            events.append(TouchEvent(t, kind, payload))
+        return cls(events)
+
+    @property
+    def duration_s(self) -> float:
+        return self.events[-1].at_s if self.events else 0.0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class ReranReplayer:
+    """Replays a recording against a platform with timing jitter.
+
+    Each inter-event gap is perturbed by a seeded gaussian (bounded
+    below so ordering is preserved).  The platform sleeps through the
+    gaps (the device idles between interactions) and the caller handles
+    each event — usually by issuing work/net against the platform.
+    """
+
+    def __init__(self, platform, jitter_rel: float = 0.05,
+                 seed: int = 0) -> None:
+        self.platform = platform
+        self.jitter_rel = jitter_rel
+        self.rng = random.Random(seed)
+
+    def replay(self, recording: Recording) -> Iterator[TouchEvent]:
+        """Yield each event after idling through its (jittered) gap."""
+        previous = 0.0
+        for event in recording.events:
+            gap = event.at_s - previous
+            previous = event.at_s
+            if gap > 0:
+                jittered = gap * max(
+                    0.2, 1.0 + self.rng.gauss(0.0, self.jitter_rel))
+                self.platform.sleep(jittered)
+            yield event

@@ -1,0 +1,23 @@
+"""Embedded ENT runtime for plain Python programs, plus the Ext utility."""
+
+from repro.runtime.embedded import (STANDARD_MODES, THERMAL_MODES,
+                                    EntRuntime, ModeCase, RuntimeStats)
+from repro.runtime.ext import Ext
+from repro.runtime.lint import LintFinding, lint_file, lint_source
+from repro.runtime.tagging import ObjectTag, ensure_tag, get_tag, mode_of
+
+__all__ = [
+    "EntRuntime",
+    "Ext",
+    "LintFinding",
+    "ModeCase",
+    "ObjectTag",
+    "RuntimeStats",
+    "STANDARD_MODES",
+    "THERMAL_MODES",
+    "ensure_tag",
+    "get_tag",
+    "lint_file",
+    "lint_source",
+    "mode_of",
+]

@@ -1,0 +1,399 @@
+"""Embedded ENT: the paper's abstractions for plain Python programs.
+
+The full ENT language (with its *static* half of mixed typechecking)
+lives in :mod:`repro.lang`.  Porting multi-hundred-KLoC applications
+onto a tree-walking interpreter is not realistic, and statically
+checking host-language (Python) code would need a type-checker plugin —
+exactly the friction the reproduction notes anticipate.  This module
+therefore provides ENT's *dynamic* half as an embedded API: modes,
+attributors, snapshot (with bounds and the EnergyException), mode cases
+and the waterfall invariant, all checked at run time with the same
+semantics as the interpreter.  The paper's 15 benchmarks are written
+against this API.
+
+Example::
+
+    rt = EntRuntime.standard(platform)
+
+    @rt.dynamic
+    class Agent:
+        def attributor(self):
+            if rt.ext.battery() >= 0.75:
+                return "full_throttle"
+            ...
+        def work(self, site): ...
+
+    da = Agent()
+    agent = rt.snapshot(da)                      # attributor decides
+    with rt.booted(agent):                       # boot-mode closure
+        agent.work(site)                         # waterfall-checked
+
+Dynamic classes must define an ``attributor`` method returning a mode
+(name or :class:`Mode`).  ``ModeCase`` is a descriptor: reading it from
+an instance eliminates on the instance's mode (the paper's implicit
+mode-case elimination).
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.core.errors import EnergyException, EntError
+from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
+from repro.runtime.ext import Ext
+from repro.runtime.tagging import TAG_ATTR, ObjectTag, ensure_tag, get_tag
+
+__all__ = ["EntRuntime", "ModeCase", "RuntimeStats", "STANDARD_MODES",
+           "THERMAL_MODES"]
+
+#: The battery-mode chain used across the paper's benchmarks.
+STANDARD_MODES = ("energy_saver", "managed", "full_throttle")
+
+#: The temperature-mode chain used by the E3 experiments.
+THERMAL_MODES = ("overheating", "hot", "safe")
+
+ModeLike = Union[Mode, str]
+
+
+@dataclass
+class RuntimeStats:
+    """Counters mirroring :class:`repro.lang.interp.InterpStats`."""
+
+    messages: int = 0
+    dfall_checks: int = 0
+    snapshots: int = 0
+    copies: int = 0
+    lazy_tags: int = 0
+    bound_checks: int = 0
+    energy_exceptions: int = 0
+    mcase_elims: int = 0
+
+
+class EntRuntime:
+    """The embedded ENT runtime: lattice + mode context + checking.
+
+    Parameters mirror the interpreter's options: ``silent`` suppresses
+    ``EnergyException`` (the E1 "silent" build — tagging stays in
+    place), ``baseline`` disables tagging bookkeeping and checks
+    entirely (the Figure-6 overhead baseline), ``lazy_copy`` enables the
+    section-5 copy optimization.
+    """
+
+    def __init__(self, lattice: ModeLattice, platform=None,
+                 silent: bool = False, baseline: bool = False,
+                 lazy_copy: bool = True) -> None:
+        self.lattice = lattice
+        self.ext = Ext(platform)
+        self.silent = silent
+        self.baseline = baseline
+        self.lazy_copy = lazy_copy
+        self.stats = RuntimeStats()
+        self._mode_stack = [TOP]
+        self._self_stack = [None]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+
+    @classmethod
+    def standard(cls, platform=None, **kwargs) -> "EntRuntime":
+        """A runtime over the es <= managed <= full_throttle chain."""
+        return cls(ModeLattice.linear(list(STANDARD_MODES)),
+                   platform=platform, **kwargs)
+
+    @classmethod
+    def thermal(cls, platform=None, **kwargs) -> "EntRuntime":
+        """A runtime over the overheating <= hot <= safe chain.
+
+        ``safe`` is the *greatest* mode: the cooler the CPU, the more
+        work the program may boot."""
+        return cls(ModeLattice.linear(list(THERMAL_MODES)),
+                   platform=platform, **kwargs)
+
+    @property
+    def platform(self):
+        return self.ext.platform
+
+    def bind_platform(self, platform) -> None:
+        self.ext.bind(platform)
+
+    def mode(self, name: ModeLike) -> Mode:
+        mode = Mode(name) if isinstance(name, str) else name
+        return self.lattice.require(mode)
+
+    # ------------------------------------------------------------------
+    # Mode context (the current closure mode)
+
+    @property
+    def current_mode(self) -> Mode:
+        return self._mode_stack[-1]
+
+    @contextmanager
+    def booted(self, obj_or_mode):
+        """Run a block in the mode of ``obj_or_mode`` (the boot mode).
+
+        Typically used with a freshly snapshotted "entry" object (the
+        paper's Agent): all messaging inside the block is waterfall-
+        checked against this mode.
+        """
+        if isinstance(obj_or_mode, (Mode, str)):
+            mode = self.mode(obj_or_mode)
+        else:
+            tag = get_tag(obj_or_mode)
+            if tag is None or tag.mode is None:
+                raise EnergyException(
+                    "cannot boot from an un-snapshotted dynamic object")
+            mode = tag.mode
+        self._mode_stack.append(mode)
+        self._self_stack.append(None)
+        try:
+            yield mode
+        finally:
+            self._mode_stack.pop()
+            self._self_stack.pop()
+
+    # ------------------------------------------------------------------
+    # Class decorators
+
+    def dynamic(self, cls=None):
+        """Class decorator: a dynamic ENT class (``@mode<?>``).
+
+        The class must define an ``attributor(self)`` method returning
+        a mode.  Instances start at mode ``?`` and acquire a concrete
+        mode via :meth:`snapshot`.
+        """
+        def apply(target):
+            if not hasattr(target, "attributor"):
+                raise EntError(
+                    f"dynamic class {target.__name__} must define an "
+                    f"attributor method")
+            return self._instrument(target, dynamic=True, fixed=None)
+
+        return apply if cls is None else apply(cls)
+
+    def static(self, mode_name: ModeLike):
+        """Class decorator: a fixed-mode ENT class (``@mode<m>``)."""
+        fixed = self.mode(mode_name)
+
+        def apply(target):
+            if hasattr(target, "attributor"):
+                raise EntError(
+                    f"fixed-mode class {target.__name__} must not define "
+                    f"an attributor")
+            return self._instrument(target, dynamic=False, fixed=fixed)
+
+        return apply
+
+    def mode_override(self, mode_name: ModeLike):
+        """Method decorator: method-level mode characterization.
+
+        The waterfall check for calls to this method uses the override
+        mode instead of the receiver's mode (Listing 3's
+        ``mediaCrawl``)."""
+        override = self.mode(mode_name)
+
+        def apply(func):
+            func._ent_mode_override = override
+            return func
+
+        return apply
+
+    def _instrument(self, cls, dynamic: bool, fixed: Optional[Mode]):
+        cls._ent_runtime = self
+        cls._ent_dynamic = dynamic
+        cls._ent_fixed_mode = fixed
+        original_init = cls.__init__
+
+        @functools.wraps(original_init)
+        def init(obj, *args, **kwargs):
+            tag = ensure_tag(obj)
+            tag.dynamic = dynamic
+            tag.mode = fixed if not dynamic else None
+            original_init(obj, *args, **kwargs)
+
+        cls.__init__ = init
+        for name, attr in list(vars(cls).items()):
+            if name.startswith("_") or name in ("attributor",):
+                continue
+            if callable(attr) and not isinstance(attr, (staticmethod,
+                                                        classmethod,
+                                                        ModeCase)):
+                setattr(cls, name, self._wrap_method(attr))
+        return cls
+
+    def _wrap_method(self, func):
+        runtime = self
+        override: Optional[Mode] = getattr(func, "_ent_mode_override", None)
+
+        @functools.wraps(func)
+        def wrapper(obj, *args, **kwargs):
+            runtime.stats.messages += 1
+            if runtime.baseline:
+                return func(obj, *args, **kwargs)
+            tag = get_tag(obj)
+            guard = override
+            if guard is None and tag is not None:
+                guard = tag.mode
+            self_call = obj is runtime._self_stack[-1]
+            if not self_call:
+                runtime._check_dfall(guard, obj, func.__name__)
+            closure = guard if guard is not None else runtime.current_mode
+            runtime._mode_stack.append(closure)
+            runtime._self_stack.append(obj)
+            try:
+                return func(obj, *args, **kwargs)
+            finally:
+                runtime._mode_stack.pop()
+                runtime._self_stack.pop()
+
+        wrapper._ent_wrapped = True
+        return wrapper
+
+    def _check_dfall(self, guard: Optional[Mode], obj: object,
+                     method: str) -> None:
+        self.stats.dfall_checks += 1
+        if guard is None:
+            if self.silent:
+                return
+            raise EnergyException(
+                f"messaging un-snapshotted dynamic object "
+                f"{type(obj).__name__} (method {method}); snapshot first")
+        sender = self.current_mode
+        if not self.lattice.leq(guard, sender) and not self.silent:
+            self.stats.energy_exceptions += 1
+            raise EnergyException(
+                f"waterfall invariant violated: receiver mode "
+                f"{guard.name} > sender mode {sender.name} "
+                f"({type(obj).__name__}.{method})",
+                mode=guard, upper=sender)
+
+    # ------------------------------------------------------------------
+    # Snapshot
+
+    def snapshot(self, obj, lower: Optional[ModeLike] = None,
+                 upper: Optional[ModeLike] = None):
+        """The snapshot expression: evaluate the attributor, bound-check
+        the resulting mode, and return a mode-tagged (shallow) copy.
+
+        Raises :class:`EnergyException` on a *bad check* unless the
+        runtime is silent.  With ``lazy_copy`` the first snapshot tags
+        the object in place (section 5)."""
+        tag = get_tag(obj)
+        if tag is None or not tag.dynamic:
+            raise EntError(
+                f"snapshot requires an instance of a dynamic ENT class, "
+                f"got {type(obj).__name__}")
+        self.stats.snapshots += 1
+        mode = self._run_attributor(obj)
+        if self.baseline:
+            tag.mode = mode
+            return obj
+        lo = self.mode(lower) if lower is not None else BOTTOM
+        hi = self.mode(upper) if upper is not None else TOP
+        self.stats.bound_checks += 1
+        ok = self.lattice.leq(lo, mode) and self.lattice.leq(mode, hi)
+        if not ok and not self.silent:
+            self.stats.energy_exceptions += 1
+            raise EnergyException(
+                f"bad check: attributor of {type(obj).__name__} returned "
+                f"{mode.name}, outside [{lo.name}, {hi.name}]",
+                mode=mode, lower=lo, upper=hi)
+        if self.lazy_copy and not tag.is_snapshot:
+            self.stats.lazy_tags += 1
+            tag.mode = mode
+            tag.is_snapshot = True
+            tag.snap_tagged = True
+            return obj
+        self.stats.copies += 1
+        clone = copy.copy(obj)
+        setattr(clone, TAG_ATTR,
+                ObjectTag(mode=mode, dynamic=True, is_snapshot=True))
+        return clone
+
+    def _run_attributor(self, obj) -> Mode:
+        result = obj.attributor()
+        if isinstance(result, str):
+            result = Mode(result)
+        if not isinstance(result, Mode) or result not in self.lattice:
+            raise EntError(
+                f"attributor of {type(obj).__name__} returned "
+                f"{result!r}, which is not a declared mode")
+        return result
+
+    def mode_of(self, obj) -> Optional[Mode]:
+        tag = get_tag(obj)
+        return tag.mode if tag is not None else None
+
+    # ------------------------------------------------------------------
+    # Mode cases
+
+    def mcase(self, branches: Dict[str, object],
+              default: object = None, has_default: bool = False):
+        """Build a :class:`ModeCase` bound to this runtime."""
+        return ModeCase(self, branches, default=default,
+                        has_default=has_default)
+
+
+class ModeCase:
+    """A mode case: a tagged union over modes (the paper's ``mcase``).
+
+    Usable two ways:
+
+    * as a plain value: ``depth.select(mode)`` or ``depth.for_object(o)``;
+    * as a class attribute of an ENT class, where attribute access from
+      an instance performs implicit elimination on the instance's mode::
+
+          @rt.dynamic
+          class Site:
+              depth = rt.mcase({"energy_saver": 1, "managed": 2,
+                                "full_throttle": 3})
+              ...
+              def crawl(self):
+                  d = self.depth      # eliminated on this Site's mode
+    """
+
+    def __init__(self, runtime: EntRuntime, branches: Dict[str, object],
+                 default: object = None, has_default: bool = False) -> None:
+        self.runtime = runtime
+        self.branches: Dict[Mode, object] = {
+            runtime.mode(name): value for name, value in branches.items()}
+        self.has_default = has_default
+        self.default = default
+        if not has_default:
+            missing = runtime.lattice.declared_modes - set(self.branches)
+            if missing:
+                names = ", ".join(sorted(m.name for m in missing))
+                raise EntError(
+                    f"mode case does not cover modes: {names} "
+                    f"(add branches or a default)")
+
+    def select(self, mode: Optional[Mode]):
+        """Explicit elimination (the paper's ``e ◃ η``)."""
+        self.runtime.stats.mcase_elims += 1
+        if mode is None:
+            raise EnergyException(
+                "cannot eliminate a mode case against a dynamic mode; "
+                "snapshot the enclosing object first")
+        if mode in self.branches:
+            return self.branches[mode]
+        if self.has_default:
+            return self.default
+        raise EnergyException(
+            f"mode case has no branch for mode {mode.name}")
+
+    def for_object(self, obj):
+        return self.select(self.runtime.mode_of(obj))
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        tag = get_tag(instance)
+        mode = tag.mode if tag is not None else None
+        if mode is None and self.runtime.baseline:
+            # Baseline build keeps behaviour: fall back to the current
+            # closure mode.
+            mode = self.runtime.current_mode
+        return self.select(mode)

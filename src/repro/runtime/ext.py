@@ -1,0 +1,45 @@
+"""The ``Ext`` utility: battery and temperature queries (paper section 5).
+
+ENT ships a library class ``Ext`` that answers external-context queries.
+On System A it wraps ACPI, on System B a simulated battery, on System C
+Android's BatteryManager; here all three are answered by the attached
+platform simulator.  The embedded runtime exposes an :class:`Ext`
+instance; the ENT interpreter reaches the same platform through its
+native ``Ext`` static class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Ext:
+    """External context queries, bound to a platform simulator."""
+
+    def __init__(self, platform=None) -> None:
+        self._platform = platform
+
+    def bind(self, platform) -> None:
+        self._platform = platform
+
+    @property
+    def platform(self):
+        return self._platform
+
+    def battery(self) -> float:
+        """Remaining battery as a fraction in [0, 1]."""
+        if self._platform is None:
+            return 1.0
+        return float(self._platform.battery_fraction())
+
+    def temperature(self) -> float:
+        """Current CPU temperature in degrees Celsius."""
+        if self._platform is None:
+            return 45.0
+        return float(self._platform.cpu_temperature())
+
+    def now(self) -> float:
+        """Simulation time in seconds."""
+        if self._platform is None:
+            return 0.0
+        return float(self._platform.now())

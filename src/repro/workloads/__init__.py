@@ -1,0 +1,31 @@
+"""The paper's 15 benchmark applications as simulated workload kernels."""
+
+from repro.workloads.base import (BATTERY_MODES, BOOT_BATTERY_LEVELS,
+                                  E3_SLEEP_MS, ES, FT, HOT, MG, OVERHEATING,
+                                  SAFE, THERMAL_MODES, TaskResult, Workload,
+                                  battery_boot_mode, temperature_boot_mode)
+from repro.workloads.registry import (ALL_WORKLOADS, E1_E2_BENCHMARKS,
+                                      E3_BENCHMARKS, get_workload,
+                                      workloads_for_system)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BATTERY_MODES",
+    "BOOT_BATTERY_LEVELS",
+    "E1_E2_BENCHMARKS",
+    "E3_BENCHMARKS",
+    "E3_SLEEP_MS",
+    "ES",
+    "FT",
+    "HOT",
+    "MG",
+    "OVERHEATING",
+    "SAFE",
+    "THERMAL_MODES",
+    "TaskResult",
+    "Workload",
+    "battery_boot_mode",
+    "get_workload",
+    "temperature_boot_mode",
+    "workloads_for_system",
+]

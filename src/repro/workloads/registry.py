@@ -1,0 +1,67 @@
+"""Registry of the paper's 15 benchmarks (Figure 6)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import Workload
+from repro.workloads.batik import Batik
+from repro.workloads.camera import Camera
+from repro.workloads.crypto import Crypto
+from repro.workloads.duckduckgo import DuckDuckGo
+from repro.workloads.findbugs import FindBugs
+from repro.workloads.javaboy import JavaBoy
+from repro.workloads.jspider import JSpider
+from repro.workloads.jython import Jython
+from repro.workloads.materiallife import MaterialLife
+from repro.workloads.newpipe import NewPipe
+from repro.workloads.pagerank import PageRank
+from repro.workloads.soundrecorder import SoundRecorder
+from repro.workloads.sunflow import Sunflow
+from repro.workloads.video import Video
+from repro.workloads.xalan import Xalan
+
+#: Figure 6 order.
+ALL_WORKLOADS: List[Workload] = [
+    Crypto(),
+    FindBugs(),
+    JSpider(),
+    Jython(),
+    PageRank(),
+    Sunflow(),
+    Xalan(),
+    Camera(),
+    Video(),
+    JavaBoy(),
+    Batik(),
+    NewPipe(),
+    DuckDuckGo(),
+    SoundRecorder(),
+    MaterialLife(),
+]
+
+_BY_NAME: Dict[str, Workload] = {w.name: w for w in ALL_WORKLOADS}
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") \
+            from None
+
+
+def workloads_for_system(system: str) -> List[Workload]:
+    return [w for w in ALL_WORKLOADS if system in w.systems]
+
+
+#: Benchmarks evaluated in the battery experiments (Figures 8-10).
+E1_E2_BENCHMARKS = {
+    "A": ["sunflow", "jspider", "pagerank", "findbugs", "crypto", "batik"],
+    "B": ["sunflow", "crypto", "camera", "video", "javaboy"],
+    "C": ["newpipe", "duckduckgo", "soundrecorder", "materiallife"],
+}
+
+#: Benchmarks in the temperature-casing experiment (Figure 11).
+E3_BENCHMARKS = ["sunflow", "jython", "xalan", "findbugs", "pagerank"]

@@ -1,0 +1,164 @@
+"""Property-based tests over mode lattices and constraint entailment."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import ConstraintSet
+from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
+
+_names = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=6),
+    min_size=1, max_size=6, unique=True)
+
+
+@st.composite
+def linear_lattices(draw):
+    return ModeLattice.linear(draw(_names))
+
+
+@st.composite
+def lattice_and_modes(draw, count=2):
+    lattice = draw(linear_lattices())
+    modes = sorted(lattice.modes, key=lambda m: m.name)
+    picks = [draw(st.sampled_from(modes)) for _ in range(count)]
+    return (lattice, *picks)
+
+
+class TestPartialOrder:
+    @given(lattice_and_modes(1))
+    def test_reflexive(self, data):
+        lattice, a = data
+        assert lattice.leq(a, a)
+
+    @given(lattice_and_modes(2))
+    def test_antisymmetric(self, data):
+        lattice, a, b = data
+        if lattice.leq(a, b) and lattice.leq(b, a):
+            assert a == b
+
+    @given(lattice_and_modes(3))
+    def test_transitive(self, data):
+        lattice, a, b, c = data
+        if lattice.leq(a, b) and lattice.leq(b, c):
+            assert lattice.leq(a, c)
+
+    @given(lattice_and_modes(1))
+    def test_bounded(self, data):
+        lattice, a = data
+        assert lattice.leq(BOTTOM, a)
+        assert lattice.leq(a, TOP)
+
+
+class TestLatticeLaws:
+    @given(lattice_and_modes(2))
+    def test_join_is_upper_bound(self, data):
+        lattice, a, b = data
+        join = lattice.join(a, b)
+        assert lattice.leq(a, join) and lattice.leq(b, join)
+
+    @given(lattice_and_modes(2))
+    def test_meet_is_lower_bound(self, data):
+        lattice, a, b = data
+        meet = lattice.meet(a, b)
+        assert lattice.leq(meet, a) and lattice.leq(meet, b)
+
+    @given(lattice_and_modes(2))
+    def test_join_commutative(self, data):
+        lattice, a, b = data
+        assert lattice.join(a, b) == lattice.join(b, a)
+
+    @given(lattice_and_modes(2))
+    def test_meet_commutative(self, data):
+        lattice, a, b = data
+        assert lattice.meet(a, b) == lattice.meet(b, a)
+
+    @given(lattice_and_modes(3))
+    def test_join_associative(self, data):
+        lattice, a, b, c = data
+        assert lattice.join(lattice.join(a, b), c) == \
+            lattice.join(a, lattice.join(b, c))
+
+    @given(lattice_and_modes(2))
+    def test_absorption(self, data):
+        lattice, a, b = data
+        assert lattice.join(a, lattice.meet(a, b)) == a
+        assert lattice.meet(a, lattice.join(a, b)) == a
+
+    @given(lattice_and_modes(2))
+    def test_join_least(self, data):
+        lattice, a, b = data
+        join = lattice.join(a, b)
+        for upper in lattice.modes:
+            if lattice.leq(a, upper) and lattice.leq(b, upper):
+                assert lattice.leq(join, upper)
+
+    @given(linear_lattices())
+    def test_chain_respects_order(self, lattice):
+        ordered = lattice.chain()
+        for i, earlier in enumerate(ordered):
+            for later in ordered[i + 1:]:
+                assert not lattice.lt(later, earlier)
+
+
+_vars = st.sampled_from(["V1", "V2", "V3"])
+
+
+@st.composite
+def constraint_sets(draw):
+    lattice = draw(linear_lattices())
+    modes = sorted(lattice.modes, key=lambda m: m.name)
+    atom = st.one_of(st.sampled_from(modes), _vars)
+    pairs = draw(st.lists(st.tuples(atom, atom), max_size=6))
+    return ConstraintSet(lattice, pairs)
+
+
+@st.composite
+def constraints_and_atoms(draw, count=2):
+    constraints = draw(constraint_sets())
+    modes = sorted(constraints.lattice.modes, key=lambda m: m.name)
+    atom = st.one_of(st.sampled_from(modes), _vars)
+    picks = [draw(atom) for _ in range(count)]
+    return (constraints, *picks)
+
+
+class TestEntailmentProperties:
+    @given(constraints_and_atoms(1))
+    def test_reflexive(self, data):
+        constraints, a = data
+        assert constraints.entails_one(a, a)
+
+    @given(constraints_and_atoms(3))
+    @settings(max_examples=60)
+    def test_transitive(self, data):
+        constraints, a, b, c = data
+        if (constraints.entails_one(a, b)
+                and constraints.entails_one(b, c)):
+            assert constraints.entails_one(a, c)
+
+    @given(constraints_and_atoms(2))
+    def test_declared_constraints_entailed(self, data):
+        constraints, _, _ = data
+        for lhs, rhs in constraints:
+            assert constraints.entails_one(lhs, rhs)
+
+    @given(constraints_and_atoms(2))
+    def test_extension_monotone(self, data):
+        constraints, a, b = data
+        if constraints.entails_one(a, b):
+            extended = constraints.extend([(BOTTOM, "V9")])
+            assert extended.entails_one(a, b)
+
+    @given(constraint_sets())
+    def test_entails_self(self, constraints):
+        assert constraints.entails(constraints)
+
+    @given(constraints_and_atoms(2))
+    @settings(max_examples=60)
+    def test_ground_entailment_matches_lattice(self, data):
+        constraints, a, b = data
+        if isinstance(a, Mode) and isinstance(b, Mode):
+            empty = ConstraintSet(constraints.lattice)
+            assert empty.entails_one(a, b) == \
+                constraints.lattice.leq(a, b)

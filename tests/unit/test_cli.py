@@ -1,0 +1,116 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """
+modes { energy_saver <= managed; managed <= full_throttle; }
+class Probe@mode<?X> {
+    int n;
+    attributor {
+        if (n > 10) { return full_throttle; }
+        return energy_saver;
+    }
+    Probe(int n) { this.n = n; }
+    int get() { return n; }
+}
+class Main {
+    void main() {
+        Probe p = snapshot (new Probe@mode<?>(5));
+        Sys.print("n=" + p.get());
+    }
+}
+"""
+
+BAD_TYPES = """
+modes { lo <= hi; }
+class Heavy@mode<hi> { int f() { return 1; } }
+class Low@mode<lo> { int go(Heavy h) { return h.f(); } }
+class Main { void main() { } }
+"""
+
+BAD_SYNTAX = "class { oops"
+
+THROWING = """
+modes { lo <= hi; }
+class D@mode<?X> {
+    attributor { return hi; }
+    D() { }
+}
+class Main {
+    void main() { D d = snapshot (new D@mode<?>()) [_, lo]; }
+}
+"""
+
+
+@pytest.fixture
+def program(tmp_path):
+    def write(source, name="prog.ent"):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+class TestCheck:
+    def test_ok(self, program, capsys):
+        assert main(["check", program(GOOD)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_type_error(self, program, capsys):
+        assert main(["check", program(BAD_TYPES)]) == 1
+        assert "waterfall" in capsys.readouterr().err
+
+    def test_syntax_error(self, program, capsys):
+        assert main(["check", program(BAD_SYNTAX)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/no/such/file.ent"]) == 2
+
+
+class TestRun:
+    def test_runs_and_prints(self, program, capsys):
+        assert main(["run", program(GOOD)]) == 0
+        assert "n=5" in capsys.readouterr().out
+
+    def test_stats_flag(self, program, capsys):
+        assert main(["run", program(GOOD), "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "snapshots=1" in err
+
+    def test_platform_flag(self, program, capsys):
+        assert main(["run", program(GOOD), "--system", "A",
+                     "--battery", "0.5", "--stats"]) == 0
+        assert "battery=" in capsys.readouterr().err
+
+    def test_energy_exception_exit_code(self, program, capsys):
+        assert main(["run", program(THROWING)]) == 3
+        assert "EnergyException" in capsys.readouterr().err
+
+    def test_silent_flag_suppresses(self, program):
+        assert main(["run", program(THROWING), "--silent"]) == 0
+
+    def test_fuel_flag(self, program, capsys):
+        looping = GOOD.replace('Sys.print("n=" + p.get());',
+                               "while (true) { }")
+        path = program(looping, "loop.ent")
+        assert main(["run", path, "--fuel", "5000"]) == 1
+        assert "exceeded" in capsys.readouterr().err
+
+
+class TestPrettyAndTokens:
+    def test_pretty_reparses(self, program, capsys, tmp_path):
+        assert main(["pretty", program(GOOD)]) == 0
+        printed = capsys.readouterr().out
+        again = tmp_path / "again.ent"
+        again.write_text(printed)
+        assert main(["check", str(again)]) == 0
+
+    def test_tokens(self, program, capsys):
+        assert main(["tokens", program(GOOD)]) == 0
+        out = capsys.readouterr().out
+        assert "KW_SNAPSHOT" in out
+        assert "EOF" in out

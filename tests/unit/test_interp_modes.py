@@ -1,0 +1,351 @@
+"""Interpreter unit tests for ENT semantics (paper section 4.2):
+snapshot/check/copy, lazy copying, mode-case elimination, dynamic
+waterfall, silent mode, and method-level attributors."""
+
+import pytest
+
+from repro.core.errors import EnergyException
+from repro.core.modes import Mode
+from repro.lang.interp import InterpOptions, NullPlatform, run_source
+
+MODES = "modes { energy_saver <= managed; managed <= full_throttle; }\n"
+
+SITE = """
+class Site@mode<?X> {
+    List resources;
+    attributor {
+        if (resources.size() > 200) { return full_throttle; }
+        if (resources.size() > 50) { return managed; }
+        return energy_saver;
+    }
+    Site(int n) {
+        this.resources = new List();
+        int i = 0;
+        while (i < n) { resources.add(i); i = i + 1; }
+    }
+    mcase<int> depth = mcase{
+        energy_saver: 1; managed: 2; full_throttle: 3;
+    };
+    int crawl() { return depth; }
+}
+"""
+
+
+class _Battery(NullPlatform):
+    def __init__(self, level):
+        super().__init__()
+        self.level = level
+
+    def battery_fraction(self):
+        return self.level
+
+
+def run(body, extra_classes=SITE, **kwargs):
+    source = (MODES + extra_classes
+              + "class Main { void main() { " + body + " } }")
+    return run_source(source, **kwargs)
+
+
+class TestSnapshotSemantics:
+    def test_attributor_decides_mode(self):
+        interp = run("Site ds = new Site(100); Site s = snapshot ds;"
+                     "Sys.print(s.crawl());")
+        assert interp.output == ["2"]  # managed -> depth 2
+
+    def test_snapshot_mode_by_size(self):
+        for count, depth in ((10, "1"), (100, "2"), (300, "3")):
+            interp = run(f"Site ds = new Site({count});"
+                         "Site s = snapshot ds; Sys.print(s.crawl());")
+            assert interp.output == [depth]
+
+    def test_bad_check_raises(self):
+        with pytest.raises(EnergyException):
+            run("Site ds = new Site(300);"
+                "Site s = snapshot ds [_, managed];")
+
+    def test_lower_bound_check(self):
+        with pytest.raises(EnergyException):
+            run("Site ds = new Site(10);"
+                "Site s = snapshot ds [managed, _];")
+
+    def test_within_bounds(self):
+        interp = run("Site ds = new Site(100);"
+                     "Site s = snapshot ds [managed, managed];"
+                     "Sys.print(s.crawl());")
+        assert interp.output == ["2"]
+
+    def test_exception_catchable(self):
+        interp = run("""
+            Site ds = new Site(300);
+            try {
+                Site s = snapshot ds [_, managed];
+                Sys.print("no exception");
+            } catch (EnergyException e) {
+                Sys.print("caught");
+            }
+        """)
+        assert interp.output == ["caught"]
+        assert interp.stats.energy_exceptions == 1
+
+    def test_lazy_copy_first_snapshot_tags_in_place(self):
+        interp = run("Site ds = new Site(100); Site s = snapshot ds;")
+        assert interp.stats.lazy_tags == 1
+        assert interp.stats.copies == 0
+
+    def test_second_snapshot_copies(self):
+        interp = run("Site ds = new Site(100);"
+                     "Site a = snapshot ds; Site b = snapshot ds;")
+        assert interp.stats.lazy_tags == 1
+        assert interp.stats.copies == 1
+
+    def test_eager_copy_option(self):
+        interp = run("Site ds = new Site(100); Site s = snapshot ds;",
+                     options=InterpOptions(lazy_copy=False))
+        assert interp.stats.copies == 1
+        assert interp.stats.lazy_tags == 0
+
+    def test_copy_is_shallow(self):
+        # The snapshot shares field *values* with the original: adding
+        # through the copy's list is visible through the original.
+        interp = run("""
+            Site ds = new Site(100);
+            Site a = snapshot ds;
+            Site b = snapshot ds;
+            b.resources.add(999);
+            Sys.print(a.resources.size());
+        """, options=InterpOptions(lazy_copy=False))
+        assert interp.output == ["101"]
+
+    def test_monotonic_no_equivocation(self):
+        # Re-snapshotting after growth: the old copy keeps its mode,
+        # the new copy observes the new one — aliases never disagree
+        # about one object's mode.
+        interp = run("""
+            Site ds = new Site(100);
+            Site a = snapshot ds;
+            int i = 0;
+            while (i < 200) { ds.resources.add(i); i = i + 1; }
+            Site b = snapshot ds;
+            Sys.print(a.crawl());
+            Sys.print(b.crawl());
+        """)
+        assert interp.output == ["2", "3"]
+
+    def test_on_snapshot_hook(self):
+        events = []
+        source = (MODES + SITE +
+                  "class Main { void main() {"
+                  "Site ds = new Site(300); Site s = snapshot ds;"
+                  "} }")
+        from repro.lang.typechecker import check_program
+        from repro.lang.interp import Interpreter
+        interp = Interpreter(check_program(source))
+        interp.on_snapshot = lambda *args: events.append(args)
+        interp.run()
+        assert len(events) == 1
+        assert events[0][1] == Mode("full_throttle")
+
+
+class TestModeCases:
+    def test_elimination_uses_field_owner_mode(self):
+        # r.depth eliminates against r's mode, not the caller's.
+        interp = run("""
+            Site ds = new Site(300);
+            Site s = snapshot ds;
+            Sys.print(s.depth);
+        """)
+        assert interp.output == ["3"]
+
+    def test_mselect_explicit(self):
+        interp = run("Site ds = new Site(10);"
+                     "Sys.print(mselect(ds.depth, full_throttle));")
+        assert interp.output == ["3"]
+
+    def test_default_branch(self):
+        interp = run("""
+            mcase<int> x = mcase{ managed: 2; default: 9; };
+            Sys.print(mselect(x, managed));
+            Sys.print(mselect(x, energy_saver));
+        """, extra_classes="")
+        assert interp.output == ["2", "9"]
+
+    def test_mcase_stored_raw_in_locals(self):
+        interp = run("""
+            mcase<int> x = mcase{ energy_saver: 1; managed: 2;
+                                  full_throttle: 3; };
+            Sys.print(mselect(x, energy_saver));
+        """, extra_classes="")
+        assert interp.output == ["1"]
+
+    def test_elim_stat_counted(self):
+        interp = run("Site ds = new Site(100); Site s = snapshot ds;"
+                     "int d = s.depth;")
+        assert interp.stats.mcase_elims >= 1
+
+
+class TestDynamicWaterfall:
+    AGENT = SITE + """
+    class Agent@mode<?X> {
+        attributor {
+            if (Ext.battery() >= 0.75) { return full_throttle; }
+            if (Ext.battery() >= 0.50) { return managed; }
+            return energy_saver;
+        }
+        Agent() { }
+        int work(int n) {
+            Site ds = new Site(n);
+            Site s = snapshot ds [_, X];
+            return s.crawl();
+        }
+    }
+    """
+
+    def _crawl(self, battery, count, **kwargs):
+        return run(
+            f"Agent da = new Agent(); Agent a = snapshot da;"
+            f"Sys.print(a.work({count}));",
+            extra_classes=self.AGENT,
+            platform=_Battery(battery), **kwargs)
+
+    def test_high_battery_big_site_ok(self):
+        assert self._crawl(0.9, 300).output == ["3"]
+
+    def test_low_battery_big_site_throws(self):
+        with pytest.raises(EnergyException):
+            self._crawl(0.6, 300)
+
+    def test_low_battery_small_site_ok(self):
+        assert self._crawl(0.6, 100).output == ["2"]
+
+    def test_silent_mode_never_throws(self):
+        interp = self._crawl(0.6, 300, options=InterpOptions(silent=True))
+        assert interp.output == ["3"]
+        assert interp.stats.energy_exceptions == 0
+
+    def test_on_message_dfall_holds(self):
+        checks = []
+        source = (MODES + self.AGENT +
+                  "class Main { void main() {"
+                  "Agent da = new Agent(); Agent a = snapshot da;"
+                  "Sys.print(a.work(100)); } }")
+        from repro.lang.typechecker import check_program
+        from repro.lang.interp import Interpreter
+        interp = Interpreter(check_program(source),
+                             platform=_Battery(0.9))
+        interp.on_message = (
+            lambda guard, sender, holds: checks.append(holds))
+        interp.run()
+        assert checks and all(checks)
+
+    def test_baseline_mode_skips_bookkeeping(self):
+        interp = self._crawl(0.6, 300,
+                             options=InterpOptions(baseline=True))
+        # Behaviour preserved (attributor still picks the mode) ...
+        assert interp.output == ["3"]
+        # ... but no checks or copies happened.
+        assert interp.stats.bound_checks == 0
+        assert interp.stats.copies == 0
+
+
+class TestMethodAttributors:
+    TOOL = """
+    class Tool {
+        @mode<?X> int process(int n)
+        attributor {
+            if (n > 10) { return full_throttle; }
+            return energy_saver;
+        }
+        { return n * 2; }
+    }
+    """
+
+    def test_method_attributor_runs(self):
+        interp = run("Tool t = new Tool(); Sys.print(t.process(3));",
+                     extra_classes=self.TOOL)
+        assert interp.output == ["6"]
+
+    def test_method_attributor_guards_waterfall(self):
+        # A managed-mode caller invoking a method attributed to
+        # full_throttle violates the runtime waterfall.
+        source = MODES + self.TOOL + """
+        class Caller@mode<managed> {
+            int go(Tool t) { return t.process(50); }
+        }
+        class Main {
+            void main() {
+                Caller c = new Caller();
+                Tool t = new Tool();
+                Sys.print(c.go(t));
+            }
+        }
+        """
+        with pytest.raises(EnergyException):
+            run_source(source)
+
+    def test_method_attributor_low_result_allowed(self):
+        source = MODES + self.TOOL + """
+        class Caller@mode<managed> {
+            int go(Tool t) { return t.process(5); }
+        }
+        class Main {
+            void main() {
+                Caller c = new Caller();
+                Tool t = new Tool();
+                Sys.print(c.go(t));
+            }
+        }
+        """
+        assert run_source(source).output == ["10"]
+
+
+class TestGenericModes:
+    def test_runtime_generic_inference(self):
+        source = MODES + """
+        class Data@mode<X> {
+            mcase<int> level = mcase{ energy_saver: 1; managed: 2;
+                                      full_throttle: 3; };
+        }
+        class Tool {
+            @mode<X> int probe(Data@mode<X> d) { return d.level; }
+        }
+        class Main {
+            void main() {
+                Tool t = new Tool();
+                Data@mode<managed> d = new Data@mode<managed>();
+                Sys.print(t.probe(d));
+            }
+        }
+        """
+        assert run_source(source).output == ["2"]
+
+    def test_co_adaptation_listing2(self):
+        """Listing 2's co-adaptation: rules adopt the agent's mode."""
+        source = MODES + """
+        class DepthRule@mode<X> {
+            mcase<int> depth = mcase{ energy_saver: 1; managed: 2;
+                                      full_throttle: 3; };
+        }
+        class Agent@mode<?X> {
+            attributor {
+                if (Ext.battery() >= 0.75) { return full_throttle; }
+                if (Ext.battery() >= 0.50) { return managed; }
+                return energy_saver;
+            }
+            Agent() { }
+            int work() {
+                DepthRule@mode<X> r = new DepthRule@mode<X>();
+                return r.depth;
+            }
+        }
+        class Main {
+            void main() {
+                Agent da = new Agent();
+                Agent a = snapshot da;
+                Sys.print(a.work());
+            }
+        }
+        """
+        interp = run_source(source, platform=_Battery(0.6))
+        assert interp.output == ["2"]
+        interp = run_source(source, platform=_Battery(0.95))
+        assert interp.output == ["3"]

@@ -1,0 +1,101 @@
+"""Unit tests for the ENT lexer."""
+
+import pytest
+
+from repro.core.errors import EntSyntaxError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestBasics:
+    def test_empty(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("foo class snapshot") == [
+            TokenKind.IDENT, TokenKind.KW_CLASS, TokenKind.KW_SNAPSHOT]
+
+    def test_keyword_prefix_is_ident(self):
+        assert kinds("classy") == [TokenKind.IDENT]
+
+    def test_underscore(self):
+        assert kinds("_") == [TokenKind.UNDERSCORE]
+        assert kinds("_x") == [TokenKind.IDENT]
+
+    def test_integers(self):
+        tokens = tokenize("42 0 123456")
+        assert [t.value for t in tokens[:-1]] == [42, 0, 123456]
+
+    def test_floats(self):
+        tokens = tokenize("0.75 1e3 2.5E-2")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.FLOAT] * 3
+        assert tokens[0].value == pytest.approx(0.75)
+        assert tokens[1].value == pytest.approx(1000.0)
+        assert tokens[2].value == pytest.approx(0.025)
+
+    def test_int_then_dot_method(self):
+        # `resources.length` style: no float confusion.
+        assert kinds("x.size") == [TokenKind.IDENT, TokenKind.DOT,
+                                   TokenKind.IDENT]
+
+    def test_strings(self):
+        token = tokenize('"hello world"')[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello world"
+
+    def test_string_escapes(self):
+        token = tokenize(r'"a\nb\t\"c\\"')[0]
+        assert token.value == 'a\nb\t"c\\'
+
+    def test_unterminated_string(self):
+        with pytest.raises(EntSyntaxError):
+            tokenize('"oops')
+
+    def test_invalid_escape(self):
+        with pytest.raises(EntSyntaxError):
+            tokenize(r'"\q"')
+
+    def test_operators(self):
+        assert kinds("<= >= == != && || < > = ! @ ?") == [
+            TokenKind.LE, TokenKind.GE, TokenKind.EQ, TokenKind.NE,
+            TokenKind.AND, TokenKind.OR, TokenKind.LT, TokenKind.GT,
+            TokenKind.ASSIGN, TokenKind.NOT, TokenKind.AT,
+            TokenKind.QUESTION]
+
+    def test_unexpected_character(self):
+        with pytest.raises(EntSyntaxError):
+            tokenize("#")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\n b") == [TokenKind.IDENT,
+                                             TokenKind.IDENT]
+
+    def test_block_comment(self):
+        assert texts("a /* stuff \n more */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(EntSyntaxError):
+            tokenize("/* never ends")
+
+
+class TestSpans:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].span.line == 1 and tokens[0].span.column == 1
+        assert tokens[1].span.line == 2 and tokens[1].span.column == 3
+
+    def test_filename(self):
+        token = tokenize("x", filename="prog.ent")[0]
+        assert "prog.ent" in str(token.span)

@@ -1,0 +1,218 @@
+"""Unit tests for ent-lint (static checking of embedded-ENT Python)."""
+
+import pytest
+
+from repro.runtime.lint import lint_source
+
+PRELUDE = """
+from repro.runtime import EntRuntime
+rt = EntRuntime.standard()
+
+@rt.dynamic
+class Agent:
+    def attributor(self):
+        return "managed"
+    def work(self):
+        return 1
+
+@rt.static("full_throttle")
+class Heavy:
+    def burn(self):
+        return 1
+
+@rt.static("energy_saver")
+class Light:
+    def flicker(self):
+        return 1
+"""
+
+
+def codes(source):
+    return [f.code for f in lint_source(PRELUDE + source)]
+
+
+class TestMessageBeforeSnapshot:
+    def test_flagged(self):
+        assert "E001" in codes("""
+def main():
+    a = Agent()
+    a.work()
+""")
+
+    def test_snapshot_rebind_clears(self):
+        assert codes("""
+def main():
+    a = Agent()
+    a = rt.snapshot(a)
+    a.work()
+""") == []
+
+    def test_snapshot_to_new_name(self):
+        assert codes("""
+def main():
+    da = Agent()
+    a = rt.snapshot(da)
+    a.work()
+""") == []
+
+    def test_attributor_call_not_flagged(self):
+        # The attributor is the one thing evaluated pre-snapshot.
+        assert codes("""
+def main():
+    a = Agent()
+    a.attributor()
+""") == []
+
+    def test_unmanaged_class_not_flagged(self):
+        assert codes("""
+class Plain:
+    def go(self):
+        return 1
+
+def main():
+    p = Plain()
+    p.go()
+""") == []
+
+    def test_reassignment_forgets(self):
+        assert codes("""
+def main():
+    a = Agent()
+    a = make_something_else()
+    a.work()
+""") == []
+
+    def test_branch_join_conservative(self):
+        # Snapshot on only one branch: still dynamic on the other, but
+        # the conservative join must not *wrongly* flag the snapshotted
+        # state as dynamic — it forgets, producing no finding.
+        assert "E001" not in codes("""
+def main(flag):
+    a = Agent()
+    if flag:
+        a = rt.snapshot(a)
+    a.work()
+""")
+
+    def test_both_branches_dynamic_still_flagged(self):
+        assert "E001" in codes("""
+def main(flag):
+    if flag:
+        a = Agent()
+    else:
+        a = Agent()
+    a.work()
+""")
+
+
+class TestStaticWaterfall:
+    def test_violation_in_low_boot(self):
+        assert "E002" in codes("""
+def main():
+    h = Heavy()
+    with rt.booted("energy_saver"):
+        h.burn()
+""")
+
+    def test_downhill_ok(self):
+        assert codes("""
+def main():
+    l = Light()
+    with rt.booted("full_throttle"):
+        l.flicker()
+""") == []
+
+    def test_equal_mode_ok(self):
+        assert codes("""
+def main():
+    h = Heavy()
+    with rt.booted("full_throttle"):
+        h.burn()
+""") == []
+
+    def test_outside_booted_not_flagged(self):
+        # Outside a booted block the closure runs at TOP.
+        assert codes("""
+def main():
+    h = Heavy()
+    h.burn()
+""") == []
+
+    def test_nested_boot_uses_innermost(self):
+        assert "E002" in codes("""
+def main():
+    h = Heavy()
+    with rt.booted("full_throttle"):
+        with rt.booted("energy_saver"):
+            h.burn()
+""")
+
+    def test_dynamic_boot_mode_not_flagged(self):
+        # A non-literal boot target: nothing provable statically.
+        assert codes("""
+def main(agent):
+    h = Heavy()
+    with rt.booted(agent):
+        h.burn()
+""") == []
+
+
+class TestSnapshotHygiene:
+    def test_discarded_snapshot(self):
+        assert "E003" in codes("""
+def main():
+    a = Agent()
+    rt.snapshot(a)
+""")
+
+    def test_unbounded_snapshot_in_booted_warns(self):
+        assert "W101" in codes("""
+def main(agent):
+    with rt.booted(agent):
+        t = Agent()
+        s = rt.snapshot(t)
+""")
+
+    def test_bounded_snapshot_in_booted_ok(self):
+        assert "W101" not in codes("""
+def main(agent):
+    with rt.booted(agent):
+        t = Agent()
+        s = rt.snapshot(t, upper="managed")
+""")
+
+    def test_unbounded_outside_booted_ok(self):
+        assert "W101" not in codes("""
+def main():
+    t = Agent()
+    s = rt.snapshot(t)
+""")
+
+
+class TestScopesAndReporting:
+    def test_methods_of_managed_classes_skipped(self):
+        # Self-messaging inside a managed class is the internal view.
+        assert codes("") == []
+
+    def test_findings_sorted_and_located(self):
+        findings = lint_source(PRELUDE + """
+def main():
+    a = Agent()
+    a.work()
+""")
+        assert len(findings) == 1
+        assert findings[0].line > 0
+        assert "snapshot" in str(findings[0])
+
+    def test_nested_function_fresh_scope(self):
+        assert "E001" in codes("""
+def outer():
+    def inner():
+        a = Agent()
+        a.work()
+    return inner
+""")
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(SyntaxError):
+            lint_source("def broken(:")

@@ -1,0 +1,63 @@
+"""Rendering tests for every figure formatter (fast, small harness runs)."""
+
+import pytest
+
+from repro.eval import (figure8, figure9, figure10, figure11,
+                        format_figure8, format_figure9, format_figure10,
+                        format_figure11)
+
+
+@pytest.fixture(scope="module")
+def fig8_rows():
+    return figure8("A", benchmarks=["crypto"])
+
+
+@pytest.fixture(scope="module")
+def fig11_pairs():
+    return figure11(benchmarks=["xalan"], units=30)
+
+
+class TestFormatFigure8:
+    def test_contains_all_combos(self, fig8_rows):
+        text = format_figure8(fig8_rows)
+        assert text.count("crypto") == 9
+        assert text.count("EnergyException") == 3
+
+    def test_energy_columns_numeric(self, fig8_rows):
+        text = format_figure8(fig8_rows)
+        data_lines = [l for l in text.splitlines()[3:] if l.strip()]
+        for line in data_lines:
+            cells = line.split()
+            float(cells[3])  # ENT (J)
+            float(cells[4])  # silent (J)
+
+
+class TestFormatFigure9:
+    def test_rows_and_percentages(self):
+        bars = figure9(systems=("A",))[:3]
+        text = format_figure9(bars)
+        assert "boot/workload" in text
+        assert "%" in text.splitlines()[1] or "% saved" in text
+
+
+class TestFormatFigure10:
+    def test_savings_rendered(self):
+        rows = [r for r in figure10(systems=("A",))
+                if r.benchmark == "crypto"]
+        text = format_figure10(rows)
+        assert "crypto" in text
+        assert "es % saved" in text
+
+
+class TestFormatFigure11:
+    def test_sparklines_present(self, fig11_pairs):
+        text = format_figure11(fig11_pairs)
+        assert "ent  |" in text
+        assert "java |" in text
+        assert "sleeps" in text
+
+    def test_sparkline_width_consistent(self, fig11_pairs):
+        text = format_figure11(fig11_pairs)
+        widths = {len(line) for line in text.splitlines()
+                  if "|" in line}
+        assert len(widths) == 1

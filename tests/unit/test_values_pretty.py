@@ -1,0 +1,138 @@
+"""Unit tests for runtime values and the pretty-printer."""
+
+import pytest
+
+from repro.core.errors import EntRuntimeError
+from repro.core.modes import Mode
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.types import ClassInfo, ModeParam
+from repro.lang.values import MCaseV, ObjectV
+
+ES, MG, FT = (Mode("energy_saver"), Mode("managed"), Mode("full_throttle"))
+
+
+def make_dynamic_object():
+    info = ClassInfo(name="D", superclass="Object",
+                     params=[ModeParam(dynamic=True, var="X")])
+    return ObjectV(info, {"X": None}, {"f": 1})
+
+
+class TestObjectV:
+    def test_effective_mode_dynamic(self):
+        obj = make_dynamic_object()
+        assert obj.effective_mode is None
+
+    def test_effective_mode_concrete_param(self):
+        info = ClassInfo(name="C", superclass="Object",
+                         params=[ModeParam(concrete=MG)])
+        obj = ObjectV(info, {}, {})
+        assert obj.effective_mode == MG
+
+    def test_shallow_copy_tags(self):
+        obj = make_dynamic_object()
+        copy = obj.shallow_copy(FT)
+        assert copy.effective_mode == FT
+        assert obj.effective_mode is None
+        assert copy.oid != obj.oid
+        assert copy.is_snapshot
+
+    def test_shallow_copy_shares_values_not_map(self):
+        obj = make_dynamic_object()
+        obj.fields["lst"] = [1]
+        copy = obj.shallow_copy(MG)
+        copy.fields["lst"].append(2)
+        assert obj.fields["lst"] == [1, 2]  # value shared
+        copy.set_field("f", 99)
+        assert obj.get_field("f") == 1      # map not shared
+
+    def test_tag_in_place(self):
+        obj = make_dynamic_object()
+        same = obj.tag_in_place(MG)
+        assert same is obj
+        assert obj.effective_mode == MG
+        assert obj.snap_tagged
+
+    def test_unknown_field(self):
+        obj = make_dynamic_object()
+        with pytest.raises(EntRuntimeError):
+            obj.get_field("nope")
+        with pytest.raises(EntRuntimeError):
+            obj.set_field("nope", 1)
+
+    def test_unique_ids(self):
+        assert make_dynamic_object().oid != make_dynamic_object().oid
+
+
+class TestMCaseV:
+    def test_select(self):
+        case = MCaseV({ES: 1, MG: 2, FT: 3})
+        assert case.select(MG) == 2
+
+    def test_missing_branch(self):
+        case = MCaseV({MG: 2})
+        with pytest.raises(EntRuntimeError):
+            case.select(FT)
+
+    def test_default(self):
+        case = MCaseV({MG: 2}, default=0)
+        assert case.select(FT) == 0
+
+    def test_none_default_distinct_from_missing(self):
+        case = MCaseV({MG: 2}, default=None)
+        assert case.select(FT) is None
+
+    def test_dynamic_elimination_rejected(self):
+        case = MCaseV({MG: 2})
+        with pytest.raises(EntRuntimeError):
+            case.select(None)
+
+
+PROGRAMS = [
+    "modes { a <= b; }\nclass C { }",
+    """
+    modes { energy_saver <= managed; managed <= full_throttle; }
+    class Site@mode<?X> {
+        List resources;
+        attributor {
+            if (resources.size() > 50) { return managed; }
+            return energy_saver;
+        }
+        Site(int n) { this.resources = new List(); }
+        mcase<int> depth = mcase{
+            energy_saver: 1; managed: 2; full_throttle: 3;
+        };
+        int crawl(int d) {
+            int acc = 0;
+            foreach (int r : resources) { acc = acc + d; }
+            return acc;
+        }
+    }
+    class Main {
+        void main() {
+            Site ds = new Site@mode<?>(10);
+            Site s = snapshot ds [_, managed];
+            try { Sys.print(s.crawl(mselect(ds.depth, managed))); }
+            catch (EnergyException e) { Sys.print(e); }
+        }
+    }
+    """,
+    """
+    modes { lo <= hi; }
+    class G@mode<lo <= X <= hi> extends Object {
+        @mode<hi> int heavy(double d) { return (int) d; }
+        @mode<Y> int generic(G@mode<Y> other) { return 1; }
+    }
+    class Main { void main() { boolean b = !(1 < 2) || true; } }
+    """,
+]
+
+
+class TestPrettyRoundTrip:
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_parse_print_parse(self, source):
+        first = parse_program(source)
+        printed = pretty_program(first)
+        second = parse_program(printed)
+        # Idempotence: printing the reparsed tree is stable.
+        assert pretty_program(second) == printed
