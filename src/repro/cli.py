@@ -6,6 +6,8 @@ Usage (installed as ``python -m repro``)::
     python -m repro run    program.ent [args]   # typecheck + run
     python -m repro pretty program.ent          # parse + pretty-print
     python -m repro tokens program.ent          # lex only
+    python -m repro obs report trace.jsonl      # analyse a trace
+    python -m repro obs convert t.jsonl t.json  # JSONL -> Perfetto
 
 ``run`` options mirror the paper's build/runtime configurations:
 
@@ -15,12 +17,25 @@ Usage (installed as ``python -m repro``)::
     --system A|B|C  attach a platform simulator (battery/thermal/energy)
     --battery F     initial battery fraction for the platform
     --seed N        RNG / platform seed
-    --stats         print interpreter statistics after the run
+    --stats         print run statistics as one JSON object (stderr)
+
+``run`` observability options (see ``docs/OBSERVABILITY.md``):
+
+    --trace PATH            record a trace of the run to PATH
+    --trace-format FORMAT   "jsonl" (default; for ``repro obs report``)
+                            or "chrome" (opens in Perfetto /
+                            ``chrome://tracing``)
+
+``obs report`` renders the mode timeline, per-mode dwell times, the
+energy-attribution table, and trace-derived counters/histograms from a
+JSONL trace; ``--scope`` selects a specific timeline (``closure`` or
+``object:<Class>``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -63,8 +78,30 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="initial battery fraction (with --system)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--stats", action="store_true",
-                     help="print interpreter statistics")
+                     help="print run statistics as JSON on stderr")
     run.add_argument("--lenient-mcase", action="store_true")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="record an execution trace to PATH")
+    run.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                     default="jsonl",
+                     help="trace format: jsonl (repro obs report) or "
+                          "chrome (Perfetto)")
+    run.add_argument("--trace-capacity", type=int, default=65536,
+                     help="trace ring-buffer capacity (events)")
+
+    obs = sub.add_parser(
+        "obs", help="observability: analyse and convert traces")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="mode timeline + energy attribution from a trace")
+    obs_report.add_argument("trace", help="a JSONL trace file")
+    obs_report.add_argument("--scope", default=None,
+                            help="timeline scope (closure or "
+                                 "object:<Class>); default: busiest")
+    obs_convert = obs_sub.add_parser(
+        "convert", help="convert a JSONL trace to Chrome trace_event")
+    obs_convert.add_argument("trace", help="a JSONL trace file")
+    obs_convert.add_argument("output", help="Chrome trace JSON to write")
 
     pretty = sub.add_parser("pretty", help="parse and pretty-print")
     pretty.add_argument("file")
@@ -104,11 +141,15 @@ def _cmd_run(args) -> int:
         from repro.platform.systems import make_platform
         platform = make_platform(args.system, seed=args.seed,
                                  battery_fraction=args.battery)
+    tracer = None
+    if args.trace is not None:
+        from repro.obs.tracer import Tracer
+        tracer = Tracer(capacity=args.trace_capacity)
     options = InterpOptions(silent=args.silent, baseline=args.baseline,
                             lazy_copy=not args.eager_copy,
                             fuel=args.fuel, compile=args.compile)
     interp = Interpreter(checked, platform=platform, options=options,
-                         seed=args.seed)
+                         seed=args.seed, tracer=tracer)
     status = 0
     try:
         interp.run(args.args)
@@ -117,22 +158,44 @@ def _cmd_run(args) -> int:
         status = 3
     for line in interp.output:
         print(line)
-    if args.stats:
-        stats = interp.stats
-        print(f"[steps={stats.steps} messages={stats.messages} "
-              f"snapshots={stats.snapshots} copies={stats.copies} "
-              f"lazy_tags={stats.lazy_tags} "
-              f"bound_checks={stats.bound_checks} "
-              f"mcase_elims={stats.mcase_elims} "
-              f"energy_exceptions={stats.energy_exceptions}]",
+    if tracer is not None:
+        from repro.obs.export import write_trace
+        count = write_trace(tracer.events(), args.trace,
+                            fmt=args.trace_format)
+        print(f"[trace: {count} events -> {args.trace} "
+              f"({args.trace_format}, {tracer.dropped} dropped)]",
               file=sys.stderr)
+    if args.stats:
+        payload = interp.stats.as_dict()
         if platform is not None:
-            print(f"[energy={platform.energy_total_j():.2f}J "
-                  f"time={platform.now():.3f}s "
-                  f"temp={platform.cpu_temperature():.1f}C "
-                  f"battery={platform.battery_fraction():.1%}]",
-                  file=sys.stderr)
+            payload.update({
+                "energy_j": round(platform.energy_total_j(), 4),
+                "time_s": round(platform.now(), 6),
+                "temp_c": round(platform.cpu_temperature(), 2),
+                "battery": round(platform.battery_fraction(), 4),
+            })
+        print(json.dumps(payload), file=sys.stderr)
     return status
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.export import read_jsonl, write_chrome_trace
+
+    try:
+        events = read_jsonl(args.trace)
+    except (json.JSONDecodeError, TypeError, ValueError) as exc:
+        raise EntError(
+            f"{args.trace} is not a JSONL trace "
+            f"(record a trace with `repro run --trace`): {exc}") from exc
+    if args.obs_command == "report":
+        from repro.obs.report import render_report
+        print(render_report(events, scope=args.scope))
+        return 0
+    if args.obs_command == "convert":
+        write_chrome_trace(events, args.output)
+        print(f"{args.output}: {len(events)} events")
+        return 0
+    raise EntError(f"unknown obs command {args.obs_command!r}")
 
 
 def _cmd_pretty(args) -> int:
@@ -161,6 +224,7 @@ def _cmd_lint(args) -> int:
 _COMMANDS = {
     "check": _cmd_check,
     "run": _cmd_run,
+    "obs": _cmd_obs,
     "pretty": _cmd_pretty,
     "tokens": _cmd_tokens,
     "lint": _cmd_lint,

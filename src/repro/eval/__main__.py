@@ -6,9 +6,13 @@ Usage::
     python -m repro.eval all                     # print everything
     python -m repro.eval export --dir results    # write JSON data
     python -m repro.eval drain --benchmark jspider
+    python -m repro.eval episode --experiment e3 --benchmark sunflow \\
+        --trace /tmp/e3.jsonl            # traced single episode
 
 Figures print in the same text form the benchmark harness writes to
-``results/figure*.txt``.
+``results/figure*.txt``.  ``episode`` runs one E1/E2/E3 episode with a
+tracer attached and writes the event trace (analyse it with
+``python -m repro obs report``).
 """
 
 from __future__ import annotations
@@ -43,7 +47,78 @@ def _build_parser() -> argparse.ArgumentParser:
     drain.add_argument("--battery-scale", type=float, default=0.003)
     drain.add_argument("--seed", type=int, default=0)
 
+    episode = sub.add_parser(
+        "episode", help="run one traced E1/E2/E3 episode")
+    episode.add_argument("--experiment", choices=["e1", "e2", "e3"],
+                         required=True)
+    episode.add_argument("--benchmark", default=None,
+                         help="workload name (default: jspider for "
+                              "e1/e2, sunflow for e3)")
+    episode.add_argument("--system", choices=["A", "B", "C"], default="A",
+                         help="platform (e1/e2; e3 always runs on A)")
+    episode.add_argument("--boot", default="full_throttle",
+                         help="boot mode (e1/e2)")
+    episode.add_argument("--workload-mode", default="full_throttle",
+                         help="workload attribution mode (e1/e2)")
+    episode.add_argument("--variant", choices=["ent", "java"],
+                         default="ent", help="e3 variant")
+    episode.add_argument("--units", type=int, default=None,
+                         help="e3 work units (default: benchmark's)")
+    episode.add_argument("--silent", action="store_true",
+                         help="e1 silent build")
+    episode.add_argument("--seed", type=int, default=0)
+    episode.add_argument("--trace", metavar="PATH", required=True,
+                         help="write the episode trace to PATH")
+    episode.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                         default="jsonl")
+    episode.add_argument("--trace-capacity", type=int, default=65536)
+
     return parser
+
+
+def _run_episode(args) -> int:
+    from repro.eval.runner import (run_e1_episode, run_e2_episode,
+                                   run_e3_episode)
+    from repro.obs.export import write_trace
+    from repro.obs.tracer import Tracer
+    from repro.workloads import get_workload
+
+    default_bench = "sunflow" if args.experiment == "e3" else "jspider"
+    workload = get_workload(args.benchmark or default_bench)
+    tracer = Tracer(capacity=args.trace_capacity)
+    if args.experiment == "e1":
+        result = run_e1_episode(workload, args.system, args.boot,
+                                args.workload_mode, silent=args.silent,
+                                seed=args.seed, tracer=tracer)
+        summary = (f"e1 {result.benchmark} system={result.system} "
+                   f"boot={result.boot_mode} "
+                   f"workload={result.workload_mode} "
+                   f"qos={result.qos_mode} "
+                   f"exception={result.exception_raised} "
+                   f"E={result.energy_j:.2f}J "
+                   f"t={result.duration_s:.3f}s")
+    elif args.experiment == "e2":
+        result = run_e2_episode(workload, args.system, args.boot,
+                                args.workload_mode, seed=args.seed,
+                                tracer=tracer)
+        summary = (f"e2 {result.benchmark} system={result.system} "
+                   f"boot={result.boot_mode} qos={result.qos_mode} "
+                   f"E={result.energy_j:.2f}J "
+                   f"t={result.duration_s:.3f}s")
+    else:
+        result = run_e3_episode(workload, variant=args.variant,
+                                seed=args.seed, units=args.units,
+                                tracer=tracer)
+        summary = (f"e3 {result.benchmark} variant={result.variant} "
+                   f"sleeps={result.sleeps} "
+                   f"E={result.energy_j:.2f}J "
+                   f"t={result.duration_s:.3f}s")
+    count = write_trace(tracer.events(), args.trace,
+                        fmt=args.trace_format)
+    print(summary)
+    print(f"trace: {count} events -> {args.trace} "
+          f"({args.trace_format}, {tracer.dropped} dropped)")
+    return 0
 
 
 def _print_figure(name: str, seed: int) -> None:
@@ -94,6 +169,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"E={step.energy_j:.1f}J")
         print(f"monotone downward: {run.monotone_downward()}")
         return 0
+    if args.command == "episode":
+        return _run_episode(args)
     _print_figure(args.command, args.seed)
     return 0
 

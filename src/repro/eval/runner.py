@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import EnergyException
+from repro.obs.tracer import NULL_TRACER
 from repro.platform.systems import Platform, make_platform
 from repro.runtime.embedded import EntRuntime
 from repro.workloads.base import (BOOT_BATTERY_LEVELS, E3_SLEEP_MS, ES, FT,
@@ -120,30 +121,37 @@ def _build_app(workload: Workload, rt: EntRuntime, system: str):
 
 def run_e1_episode(workload: Workload, system: str, boot_mode: str,
                    workload_mode: str, silent: bool = False,
-                   seed: int = 0) -> EpisodeResult:
+                   seed: int = 0, tracer=None) -> EpisodeResult:
     """One battery-exception run (one bar of Figure 8)."""
+    tracer = tracer if tracer is not None else NULL_TRACER
     platform = make_platform(
         system, seed=seed,
         battery_fraction=BOOT_BATTERY_LEVELS[boot_mode])
-    rt = EntRuntime.standard(platform, silent=silent)
+    rt = EntRuntime.standard(platform, silent=silent, tracer=tracer)
     Agent, Task, DegradedProcessor = _build_app(workload, rt, system)
     meter = platform.meter()
     meter.begin()
     start = platform.now()
-    agent = rt.snapshot(Agent())
     exception_raised = False
     qos_mode = workload.default_qos_mode()
     task_result: Optional[TaskResult] = None
-    with rt.booted(agent):
-        task = Task(workload_mode)
-        try:
-            snapped = rt.snapshot(task, upper=rt.mode_of(agent))
-            task_result = agent.run(snapped, qos_mode)
-        except EnergyException:
-            exception_raised = True
-            qos_mode = ES
-            degraded = DegradedProcessor()
-            task_result = degraded.process(task.scaled_size)
+    with tracer.span(f"e1:{workload.name}", category="episode",
+                     system=system, boot_mode=boot_mode,
+                     workload_mode=workload_mode, silent=silent):
+        with tracer.span("snapshot-agent", category="phase"):
+            agent = rt.snapshot(Agent())
+        with rt.booted(agent):
+            task = Task(workload_mode)
+            try:
+                with tracer.span("process", category="phase"):
+                    snapped = rt.snapshot(task, upper=rt.mode_of(agent))
+                    task_result = agent.run(snapped, qos_mode)
+            except EnergyException:
+                exception_raised = True
+                qos_mode = ES
+                with tracer.span("degraded", category="phase"):
+                    degraded = DegradedProcessor()
+                    task_result = degraded.process(task.scaled_size)
     return EpisodeResult(
         benchmark=workload.name, system=system, boot_mode=boot_mode,
         workload_mode=workload_mode, qos_mode=qos_mode, silent=silent,
@@ -153,13 +161,14 @@ def run_e1_episode(workload: Workload, system: str, boot_mode: str,
 
 def run_e2_episode(workload: Workload, system: str, boot_mode: str,
                    workload_mode: str = FT,
-                   seed: int = 0) -> EpisodeResult:
+                   seed: int = 0, tracer=None) -> EpisodeResult:
     """One battery-casing run (one bar of Figure 10): the boot mode
     eliminates a mode case selecting the QoS level."""
+    tracer = tracer if tracer is not None else NULL_TRACER
     platform = make_platform(
         system, seed=seed,
         battery_fraction=BOOT_BATTERY_LEVELS[boot_mode])
-    rt = EntRuntime.standard(platform)
+    rt = EntRuntime.standard(platform, tracer=tracer)
     Agent, Task, _ = _build_app(workload, rt, system)
     # The QoS selector: a mode case eliminated on the agent's mode
     # (identity over mode names — each boot mode selects its QoS row).
@@ -167,12 +176,17 @@ def run_e2_episode(workload: Workload, system: str, boot_mode: str,
     meter = platform.meter()
     meter.begin()
     start = platform.now()
-    agent = rt.snapshot(Agent())
-    qos_mode = qos_case.for_object(agent)
-    with rt.booted(agent):
-        size = _scaled_size(workload, workload_mode, system)
-        task_result = workload.execute(platform, size,
-                                       workload.qos_value(qos_mode))
+    with tracer.span(f"e2:{workload.name}", category="episode",
+                     system=system, boot_mode=boot_mode,
+                     workload_mode=workload_mode):
+        agent = rt.snapshot(Agent())
+        qos_mode = qos_case.for_object(agent)
+        with rt.booted(agent):
+            size = _scaled_size(workload, workload_mode, system)
+            with tracer.span("process", category="phase",
+                             qos_mode=qos_mode):
+                task_result = workload.execute(
+                    platform, size, workload.qos_value(qos_mode))
     return EpisodeResult(
         benchmark=workload.name, system=system, boot_mode=boot_mode,
         workload_mode=workload_mode, qos_mode=qos_mode, silent=False,
@@ -182,15 +196,17 @@ def run_e2_episode(workload: Workload, system: str, boot_mode: str,
 
 def run_e3_episode(workload: Workload, variant: str = "ent",
                    seed: int = 0,
-                   units: Optional[int] = None) -> TraceResult:
+                   units: Optional[int] = None,
+                   tracer=None) -> TraceResult:
     """One temperature-casing run (one curve of Figure 11), System A."""
     if not workload.supports_temperature:
         raise ValueError(
             f"{workload.name} has no unit-of-work decomposition for E3")
     if variant not in ("ent", "java"):
         raise ValueError(f"unknown E3 variant {variant!r}")
+    tracer = tracer if tracer is not None else NULL_TRACER
     platform = make_platform("A", seed=seed)
-    rt = EntRuntime.thermal(platform)
+    rt = EntRuntime.thermal(platform, tracer=tracer)
 
     @rt.dynamic
     class Sleeper:
@@ -208,14 +224,19 @@ def run_e3_episode(workload: Workload, variant: str = "ent",
     sleeps = 0
     count = units if units is not None else workload.e3_units
     qos = workload.qos_value(FT)  # large dataset stresses the CPU
-    for index in range(count):
-        workload.execute_unit(platform, qos, seed=seed + index)
-        if variant == "ent":
-            snapped = rt.snapshot(sleeper)
-            interval = snapped.interval_ms
-            if interval > 0:
-                platform.sleep(interval / 1000.0)
-                sleeps += 1
+    with tracer.span(f"e3:{workload.name}", category="episode",
+                     variant=variant, units=count):
+        for index in range(count):
+            with tracer.span("work-unit", category="phase", index=index):
+                workload.execute_unit(platform, qos, seed=seed + index)
+            if variant == "ent":
+                snapped = rt.snapshot(sleeper)
+                interval = snapped.interval_ms
+                if interval > 0:
+                    with tracer.span("cooldown", category="phase",
+                                     interval_ms=interval):
+                        platform.sleep(interval / 1000.0)
+                    sleeps += 1
     duration = platform.now() - start
     if duration <= 0:
         duration = 1.0

@@ -369,6 +369,11 @@ def _compile_expr_raw(interp, expr: ast.Expr) -> Code:
                 raise StuckError(f"mselect on non-mcase {value!r}")
             mode = interp._resolve_atom(atom, frame)
             interp.stats.mcase_elims += 1
+            if interp.tracer.enabled:
+                from repro.obs.events import MCaseElimEvent, mode_name
+                interp.tracer.emit(MCaseElimEvent(
+                    ts=interp.tracer.now(), mode=mode_name(mode),
+                    source="interp"))
             return value.select(mode)
         return run
 

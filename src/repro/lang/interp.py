@@ -31,11 +31,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from dataclasses import fields as field_list
 from typing import Callable, Dict, List, Optional
 
 from repro.core.errors import (BadCastError, EnergyException,
                                EntRuntimeError, FuelExhausted, StuckError)
 from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
+from repro.obs.events import (AttributorEvent, DfallCheckEvent,
+                              MCaseElimEvent, SnapshotEvent, mode_name)
+from repro.obs.tracer import NULL_TRACER, attach_platform
 from repro.lang import ast_nodes as ast
 from repro.lang import types as ty
 from repro.lang.natives import (NATIVE_STATIC_CLASSES, call_list_method,
@@ -113,6 +117,13 @@ class InterpStats:
     mcase_elims: int = 0
     objects_created: int = 0
 
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in field_list(self)}
+
+    def reset(self) -> None:
+        for f in field_list(self):
+            setattr(self, f.name, f.default)
+
 
 class _NativeRef:
     """A reference to a native static class (``Ext``, ``Sys``, ``Math``)."""
@@ -175,12 +186,15 @@ class Interpreter:
     def __init__(self, checked: CheckedProgram,
                  platform=None,
                  options: Optional[InterpOptions] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, tracer=None) -> None:
         self.checked = checked
         self.table = checked.table
         self.lattice: ModeLattice = checked.lattice
         self.platform = platform if platform is not None else NullPlatform()
         self.options = options or InterpOptions()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            attach_platform(self.tracer, self.platform)
         self.stats = InterpStats()
         self.output: List[str] = []
         self.rng = random.Random(seed)
@@ -212,6 +226,11 @@ class Interpreter:
             if len(minfo.param_names) != (1 if args else 0):
                 raise EntRuntimeError(
                     "main must take zero parameters or a single List")
+        if self.tracer.enabled:
+            self.tracer.mode_transition("closure", None, TOP)
+            with self.tracer.span("main", category="program"):
+                return self._invoke(main_obj, minfo, call_args, boot_frame,
+                                    self_call=False, span=None)
         return self._invoke(main_obj, minfo, call_args, boot_frame,
                             self_call=False, span=None)
 
@@ -409,6 +428,11 @@ class Interpreter:
             closure = guard if guard is not None else frame.current_mode
         self._check_dfall(guard, frame.current_mode, self_call, receiver,
                           minfo, span)
+        traced = (self.tracer.enabled
+                  and closure is not frame.current_mode)
+        if traced:
+            self.tracer.mode_transition("closure", frame.current_mode,
+                                        closure)
         body_frame = _Frame(this_obj=receiver, mode_env=mode_env,
                             current_mode=closure)
         body_frame.push()
@@ -421,6 +445,10 @@ class Interpreter:
             self._execute_block(minfo.decl.body, body_frame)
         except _ReturnSignal as signal:
             return signal.value
+        finally:
+            if traced:
+                self.tracer.mode_transition("closure", closure,
+                                            frame.current_mode)
         return None
 
     def _check_dfall(self, guard: Optional[Mode],
@@ -442,15 +470,24 @@ class Interpreter:
                 f"program cannot reach this state")
         sender_mode = sender if sender is not None else TOP
         holds = self.lattice.leq(guard, sender_mode)
+        if self.tracer.enabled:
+            self.tracer.emit(DfallCheckEvent(
+                ts=self.tracer.now(), cls=receiver.class_info.name,
+                method=minfo.name, receiver_mode=guard.name,
+                sender_mode=sender_mode.name, holds=holds,
+                source="interp"))
         if self.on_message is not None:
             self.on_message(guard, sender_mode, holds)
         if not holds and not self.options.silent:
             self.stats.energy_exceptions += 1
-            raise EnergyException(
-                f"waterfall invariant violated: receiver mode "
-                f"{guard.name} > sender mode {sender_mode.name} "
-                f"(method {minfo.owner}.{minfo.name})",
-                mode=guard, upper=sender_mode)
+            message = (f"waterfall invariant violated: receiver mode "
+                       f"{guard.name} > sender mode {sender_mode.name} "
+                       f"(method {minfo.owner}.{minfo.name})")
+            if self.tracer.enabled:
+                self.tracer.energy_exception(message, mode=guard,
+                                             upper=sender_mode,
+                                             source="interp")
+            raise EnergyException(message, mode=guard, upper=sender_mode)
 
     def _eval_method_attributor(self, receiver: ObjectV,
                                 minfo: MethodInfo,
@@ -580,6 +617,9 @@ class Interpreter:
         elif isinstance(stmt, ast.Throw):
             message = self._eval(stmt.expr, frame)
             self.stats.energy_exceptions += 1
+            if self.tracer.enabled:
+                self.tracer.energy_exception(self.render(message),
+                                             source="interp")
             raise EnergyException(self.render(message))
         else:  # pragma: no cover
             raise StuckError(f"unknown statement {type(stmt).__name__}")
@@ -643,6 +683,10 @@ class Interpreter:
         mode = getattr(expr, "_owner_mode", None)
         if mode is None:
             mode = frame.current_mode
+        if self.tracer.enabled:
+            self.tracer.emit(MCaseElimEvent(
+                ts=self.tracer.now(), mode=mode_name(mode),
+                source="interp"))
         return mcase.select(mode)
 
     def _eval_raw(self, expr: ast.Expr, frame: _Frame,
@@ -840,12 +884,18 @@ class Interpreter:
             raise StuckError(
                 f"class {value.class_info.name} has no attributor")
         self.stats.snapshots += 1
+        traced = self.tracer.enabled
+        previous_mode = value.effective_mode
         attr_frame = _Frame(this_obj=value,
                             mode_env=dict(value.mode_env),
                             current_mode=BOTTOM)
         attr_frame.push()
         mode = self._run_attributor_body(attributor, attr_frame,
                                          value.class_info.name)
+        if traced:
+            self.tracer.emit(AttributorEvent(
+                ts=self.tracer.now(), cls=value.class_info.name,
+                mode=mode.name, source="interp"))
         if self.options.baseline:
             # Overhead baseline: no tagging bookkeeping, no checks.
             first = value.class_info.params[0]
@@ -855,14 +905,28 @@ class Interpreter:
         lower, upper = self._snapshot_bounds(expr, frame)
         self.stats.bound_checks += 1
         ok = self.lattice.leq(lower, mode) and self.lattice.leq(mode, upper)
+        if traced:
+            self.tracer.emit(SnapshotEvent(
+                ts=self.tracer.now(), cls=value.class_info.name,
+                mode=mode.name, lower=lower.name, upper=upper.name, ok=ok,
+                lazy=ok and self.options.lazy_copy and not value.is_snapshot,
+                source="interp"))
         if self.on_snapshot is not None:
             self.on_snapshot(value, mode, lower, upper, ok)
         if not ok and not self.options.silent:
             self.stats.energy_exceptions += 1
-            raise EnergyException(
-                f"bad check: attributor of {value.class_info.name} "
-                f"returned {mode.name}, outside [{lower.name}, "
-                f"{upper.name}]", mode=mode, lower=lower, upper=upper)
+            message = (f"bad check: attributor of "
+                       f"{value.class_info.name} returned {mode.name}, "
+                       f"outside [{lower.name}, {upper.name}]")
+            if traced:
+                self.tracer.energy_exception(message, mode=mode,
+                                             lower=lower, upper=upper,
+                                             source="interp")
+            raise EnergyException(message, mode=mode, lower=lower,
+                                  upper=upper)
+        if traced and mode is not previous_mode:
+            self.tracer.mode_transition(
+                f"object:{value.class_info.name}", previous_mode, mode)
         if self.options.lazy_copy and not value.is_snapshot:
             self.stats.lazy_tags += 1
             return value.tag_in_place(mode)
@@ -897,6 +961,10 @@ class Interpreter:
         atom = getattr(expr, "resolved_mode", expr.mode_name)
         mode = self._resolve_atom(atom, frame)
         self.stats.mcase_elims += 1
+        if self.tracer.enabled:
+            self.tracer.emit(MCaseElimEvent(
+                ts=self.tracer.now(), mode=mode_name(mode),
+                source="interp"))
         return value.select(mode)
 
     def _eval_binary(self, expr: ast.Binary, frame: _Frame) -> object:
@@ -979,7 +1047,8 @@ class Interpreter:
 
 def run_source(source: str, args: Optional[List[str]] = None,
                platform=None, options: Optional[InterpOptions] = None,
-               seed: int = 0, strict_mcase_coverage: bool = True):
+               seed: int = 0, strict_mcase_coverage: bool = True,
+               tracer=None):
     """Parse, typecheck and run an ENT program; returns the interpreter
     (inspect ``.output``, ``.stats``, and the returned value)."""
     from repro.lang.typechecker import check_program
@@ -987,7 +1056,7 @@ def run_source(source: str, args: Optional[List[str]] = None,
     checked = check_program(source,
                             strict_mcase_coverage=strict_mcase_coverage)
     interp = Interpreter(checked, platform=platform, options=options,
-                         seed=seed)
+                         seed=seed, tracer=tracer)
     result = interp.run(args)
     interp.result = result
     return interp

@@ -140,6 +140,24 @@ def native_value_method_return(kind: str, method: str,
 # Runtime behaviour
 
 
+def _trace_read(interp, platform, signal: str, value: float) -> None:
+    """Record an ``Ext`` read for platforms that don't trace their own.
+
+    Platform simulators with a tracer attached emit
+    ``PlatformReadEvent`` themselves; this covers bare stubs like the
+    interpreter's ``NullPlatform``.
+    """
+    tracer = interp.tracer
+    if not tracer.enabled:
+        return
+    platform_tracer = getattr(platform, "tracer", None)
+    if platform_tracer is not None and platform_tracer.enabled:
+        return
+    from repro.obs.events import PlatformReadEvent
+    tracer.emit(PlatformReadEvent(ts=tracer.now(), signal=signal,
+                                  value=value))
+
+
 def _as_number(value: object, what: str) -> float:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise EntRuntimeError(f"{what} requires a number, got {value!r}")
@@ -157,9 +175,13 @@ def call_native_static(interp, class_name: str, method: str,
     key = (class_name, method)
     platform = interp.platform
     if key == ("Ext", "battery"):
-        return float(platform.battery_fraction())
+        value = float(platform.battery_fraction())
+        _trace_read(interp, platform, "battery", value)
+        return value
     if key == ("Ext", "temperature"):
-        return float(platform.cpu_temperature())
+        value = float(platform.cpu_temperature())
+        _trace_read(interp, platform, "temperature", value)
+        return value
     if key == ("Sys", "print"):
         interp.output.append(interp.render(args[0]))
         return None

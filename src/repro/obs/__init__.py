@@ -1,0 +1,62 @@
+"""Observability for the ENT runtime: tracing, metrics, and reports.
+
+The subsystem has four layers, each usable on its own:
+
+* :mod:`repro.obs.events` — the typed event taxonomy;
+* :mod:`repro.obs.tracer` — the bounded ring-buffer :class:`Tracer`
+  and the zero-cost :data:`NULL_TRACER`;
+* :mod:`repro.obs.metrics` — counters, streaming histograms, and the
+  mode-timeline/dwell math;
+* :mod:`repro.obs.export` / :mod:`repro.obs.report` — JSONL and
+  Chrome ``trace_event`` serialization, and the mode-timeline +
+  energy-attribution report (``repro obs report``).
+
+See ``docs/OBSERVABILITY.md`` for the taxonomy and workflows.
+"""
+
+from repro.obs.events import (AttributorEvent, DfallCheckEvent,
+                              EnergyExceptionEvent, MCaseElimEvent,
+                              MeterSampleEvent, ModeTransitionEvent,
+                              PlatformReadEvent, SnapshotEvent, Span,
+                              TraceEvent, event_from_dict)
+from repro.obs.export import (chrome_trace, read_jsonl, write_chrome_trace,
+                              write_jsonl, write_trace)
+from repro.obs.metrics import (Counter, Histogram, MetricsRegistry,
+                               dwell_times, mode_timeline, trace_metrics)
+from repro.obs.report import (energy_attribution,
+                              energy_attribution_by_scope, render_report,
+                              render_timeline)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, attach_platform
+
+__all__ = [
+    "AttributorEvent",
+    "Counter",
+    "DfallCheckEvent",
+    "EnergyExceptionEvent",
+    "Histogram",
+    "MCaseElimEvent",
+    "MeterSampleEvent",
+    "MetricsRegistry",
+    "ModeTransitionEvent",
+    "NULL_TRACER",
+    "NullTracer",
+    "PlatformReadEvent",
+    "SnapshotEvent",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "attach_platform",
+    "chrome_trace",
+    "dwell_times",
+    "energy_attribution",
+    "energy_attribution_by_scope",
+    "event_from_dict",
+    "mode_timeline",
+    "read_jsonl",
+    "render_report",
+    "render_timeline",
+    "trace_metrics",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,202 @@
+"""Typed event records for the ENT observability layer.
+
+Every interesting moment in an ENT execution is captured as one of the
+dataclasses below — the *event taxonomy* (see ``docs/OBSERVABILITY.md``):
+
+=====================  ====================================================
+event                  emitted when
+=====================  ====================================================
+SnapshotEvent          a ``snapshot`` expression completes (or bad-checks)
+AttributorEvent        an attributor body returns a mode
+DfallCheckEvent        the dynamic waterfall invariant is asserted
+MCaseElimEvent         a mode case is eliminated (implicitly or explicitly)
+EnergyExceptionEvent   an ``EnergyException`` is raised
+ModeTransitionEvent    a mode context changes (closure push/pop, or an
+                       object acquires a mode via snapshot)
+PlatformReadEvent      ``Ext.battery()`` / ``Ext.temperature()`` is read
+MeterSampleEvent       a meter window opens or closes (raw ledger values)
+Span                   a timed region closes (episode, phase, run)
+=====================  ====================================================
+
+Events carry only JSON-serializable fields (modes as their names), so
+the JSONL and Chrome ``trace_event`` exporters in
+:mod:`repro.obs.export` need no special cases.  ``ModeTransitionEvent``
+additionally records the platform energy-ledger total at the instant of
+the transition; :mod:`repro.obs.report` turns those samples into the
+per-mode energy-attribution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import ClassVar, Dict, Optional
+
+__all__ = ["TraceEvent", "SnapshotEvent", "AttributorEvent",
+           "DfallCheckEvent", "MCaseElimEvent", "EnergyExceptionEvent",
+           "ModeTransitionEvent", "PlatformReadEvent", "MeterSampleEvent",
+           "Span", "EVENT_KINDS", "event_from_dict", "mode_name"]
+
+
+def mode_name(mode) -> Optional[str]:
+    """Render a mode-ish value (Mode, str, or None) as a plain name."""
+    if mode is None:
+        return None
+    name = getattr(mode, "name", None)
+    return name if name is not None else str(mode)
+
+
+@dataclass
+class TraceEvent:
+    """Base record: a timestamp in seconds on the tracer's clock."""
+
+    kind: ClassVar[str] = "event"
+
+    ts: float
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"kind": self.kind}
+        for f in fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+@dataclass
+class SnapshotEvent(TraceEvent):
+    """A ``snapshot e [lo, hi]`` expression ran its bound check."""
+
+    kind: ClassVar[str] = "snapshot"
+
+    cls: str
+    mode: Optional[str]
+    lower: Optional[str]
+    upper: Optional[str]
+    ok: bool
+    #: True when the lazy-copy optimization tagged in place.
+    lazy: bool
+    #: "embedded" (Python API) or "interp" (ENT language).
+    source: str = "embedded"
+
+
+@dataclass
+class AttributorEvent(TraceEvent):
+    """An attributor body was evaluated and returned a mode."""
+
+    kind: ClassVar[str] = "attributor"
+
+    cls: str
+    mode: Optional[str]
+    source: str = "embedded"
+
+
+@dataclass
+class DfallCheckEvent(TraceEvent):
+    """The dynamic waterfall invariant ``dfall(o, m)`` was asserted."""
+
+    kind: ClassVar[str] = "dfall_check"
+
+    cls: str
+    method: str
+    receiver_mode: Optional[str]
+    sender_mode: Optional[str]
+    holds: bool
+    source: str = "embedded"
+
+
+@dataclass
+class MCaseElimEvent(TraceEvent):
+    """A mode case was eliminated against a concrete mode."""
+
+    kind: ClassVar[str] = "mcase_elim"
+
+    mode: Optional[str]
+    source: str = "embedded"
+
+
+@dataclass
+class EnergyExceptionEvent(TraceEvent):
+    """An ``EnergyException`` was raised (bad check or dfall violation)."""
+
+    kind: ClassVar[str] = "energy_exception"
+
+    message: str
+    mode: Optional[str] = None
+    lower: Optional[str] = None
+    upper: Optional[str] = None
+    source: str = "embedded"
+
+
+@dataclass
+class ModeTransitionEvent(TraceEvent):
+    """A mode context changed.
+
+    ``scope`` distinguishes timelines: ``"closure"`` tracks the current
+    execution mode (boot blocks, message sends), while
+    ``"object:<Class>"`` tracks an object's own mode as snapshots
+    re-attribute it.  ``energy_j`` is the platform energy-ledger total
+    at the instant of the transition (None without a platform); the
+    attribution report integrates energy between consecutive samples.
+    """
+
+    kind: ClassVar[str] = "mode_transition"
+
+    scope: str
+    from_mode: Optional[str]
+    to_mode: Optional[str]
+    energy_j: Optional[float] = None
+
+
+@dataclass
+class PlatformReadEvent(TraceEvent):
+    """An external-context signal was read (battery, temperature)."""
+
+    kind: ClassVar[str] = "platform_read"
+
+    signal: str
+    value: float
+
+
+@dataclass
+class MeterSampleEvent(TraceEvent):
+    """Raw energy-ledger components at a meter-window boundary."""
+
+    kind: ClassVar[str] = "meter_sample"
+
+    meter: str
+    phase: str  # "begin" or "end"
+    cpu_j: float = 0.0
+    peripheral_j: float = 0.0
+    io_j: float = 0.0
+    net_j: float = 0.0
+    display_j: float = 0.0
+    total_j: float = 0.0
+
+
+@dataclass
+class Span(TraceEvent):
+    """A closed timed region; ``ts`` is the start, ``dur`` the length."""
+
+    kind: ClassVar[str] = "span"
+
+    name: str
+    dur: float
+    category: str = "phase"
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+#: kind-string -> event class, for deserialization.
+EVENT_KINDS: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (SnapshotEvent, AttributorEvent, DfallCheckEvent,
+                MCaseElimEvent, EnergyExceptionEvent, ModeTransitionEvent,
+                PlatformReadEvent, MeterSampleEvent, Span)
+}
+
+
+def event_from_dict(data: Dict[str, object]) -> TraceEvent:
+    """Rebuild an event from its ``as_dict()`` form (JSONL line)."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown trace event kind: {kind!r}")
+    return cls(**payload)

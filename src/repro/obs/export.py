@@ -1,0 +1,136 @@
+"""Trace serialization: JSONL and Chrome ``trace_event`` JSON.
+
+JSONL (one ``as_dict()`` object per line) is the native interchange
+format — ``read_jsonl`` reverses ``write_jsonl`` exactly, and the
+``repro obs report`` command consumes it.  ``chrome_trace`` renders the
+same events in the Trace Event Format that Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` open directly:
+spans become complete ("X") events, meter samples become counter ("C")
+tracks, and everything else becomes thread-scoped instants ("i").
+Timestamps are converted from seconds to the format's microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, IO, Iterable, List, Sequence, Union
+
+from repro.obs.events import (MeterSampleEvent, Span, TraceEvent,
+                              event_from_dict)
+
+__all__ = ["write_jsonl", "read_jsonl", "chrome_trace",
+           "write_chrome_trace", "write_trace", "TRACE_FORMATS"]
+
+TRACE_FORMATS = ("jsonl", "chrome")
+
+#: Synthetic thread ids grouping events into Perfetto tracks.
+_TID_SPANS = 0
+_TID_RUNTIME = 1
+_TID_PLATFORM = 2
+
+_THREAD_NAMES = {
+    _TID_SPANS: "spans",
+    _TID_RUNTIME: "ent-runtime",
+    _TID_PLATFORM: "platform",
+}
+
+_PLATFORM_KINDS = frozenset({"platform_read", "meter_sample"})
+
+
+def _open_target(target: Union[str, "os.PathLike[str]", IO[str]],
+                 mode: str = "w"):
+    if isinstance(target, (str, os.PathLike)):
+        return open(target, mode, encoding="utf-8"), True
+    return target, False
+
+
+def write_jsonl(events: Iterable[TraceEvent],
+                target: Union[str, IO[str]]) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    handle, owned = _open_target(target)
+    count = 0
+    try:
+        for event in events:
+            handle.write(json.dumps(event.as_dict(),
+                                    separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    finally:
+        if owned:
+            handle.close()
+    return count
+
+
+def read_jsonl(target: Union[str, IO[str]]) -> List[TraceEvent]:
+    """Read a JSONL trace back into typed event objects."""
+    handle, owned = _open_target(target, "r")
+    try:
+        events = []
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+        return events
+    finally:
+        if owned:
+            handle.close()
+
+
+def _instant(event: TraceEvent, tid: int) -> Dict[str, object]:
+    args = {key: value for key, value in event.as_dict().items()
+            if key not in ("kind", "ts")}
+    return {"name": event.kind, "cat": event.kind, "ph": "i", "s": "t",
+            "ts": event.ts * 1e6, "pid": 0, "tid": tid, "args": args}
+
+
+def chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, object]:
+    """Render events in the Chrome Trace Event Format (JSON object)."""
+    trace_events: List[Dict[str, object]] = [
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+         "args": {"name": name}}
+        for tid, name in sorted(_THREAD_NAMES.items())]
+    for event in events:
+        if isinstance(event, Span):
+            trace_events.append({
+                "name": event.name, "cat": event.category, "ph": "X",
+                "ts": event.ts * 1e6, "dur": event.dur * 1e6,
+                "pid": 0, "tid": _TID_SPANS, "args": dict(event.args)})
+        elif isinstance(event, MeterSampleEvent):
+            trace_events.append({
+                "name": "energy (J)", "cat": "meter", "ph": "C",
+                "ts": event.ts * 1e6, "pid": 0, "tid": _TID_PLATFORM,
+                "args": {"cpu": event.cpu_j,
+                         "peripheral": event.peripheral_j,
+                         "io": event.io_j, "net": event.net_j,
+                         "display": event.display_j}})
+            trace_events.append(_instant(event, _TID_PLATFORM))
+        elif event.kind in _PLATFORM_KINDS:
+            trace_events.append(_instant(event, _TID_PLATFORM))
+        else:
+            trace_events.append(_instant(event, _TID_RUNTIME))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Sequence[TraceEvent],
+                       target: Union[str, IO[str]]) -> int:
+    """Write a Chrome/Perfetto trace file; returns events written."""
+    handle, owned = _open_target(target)
+    try:
+        json.dump(chrome_trace(events), handle)
+        handle.write("\n")
+    finally:
+        if owned:
+            handle.close()
+    return len(events)
+
+
+def write_trace(events: Sequence[TraceEvent], target: Union[str, IO[str]],
+                fmt: str = "jsonl") -> int:
+    """Write a trace in the named format ("jsonl" or "chrome")."""
+    if fmt == "jsonl":
+        return write_jsonl(events, target)
+    if fmt == "chrome":
+        return write_chrome_trace(events, target)
+    raise ValueError(f"unknown trace format {fmt!r}; "
+                     f"expected one of {', '.join(TRACE_FORMATS)}")

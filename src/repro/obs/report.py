@@ -1,0 +1,194 @@
+"""Mode-timeline reconstruction and energy-attribution reporting.
+
+The report answers the questions the paper's evaluation narrates:
+*when* did the program dwell in each mode, and *where did the joules
+go*?  Energy attribution integrates the platform energy ledger between
+consecutive energy samples (mode transitions and meter-window
+boundaries all carry the ledger total) and buckets each increment by
+the mode active when it was spent.  Because the samples partition the
+run, the buckets sum to the ledger total by construction — the report
+prints the residual so drift would be visible immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import (MeterSampleEvent, ModeTransitionEvent, Span,
+                              TraceEvent)
+from repro.obs.metrics import (dwell_times, mode_timeline, trace_metrics,
+                               transition_scopes)
+
+__all__ = ["energy_points", "energy_attribution",
+           "energy_attribution_by_scope", "render_timeline",
+           "render_report"]
+
+#: Bucket for energy spent outside any recorded dwell interval.
+UNTRACKED = "(untracked)"
+
+
+def energy_points(events: Sequence[TraceEvent]
+                  ) -> List[Tuple[float, float]]:
+    """Chronological ``(ts, ledger_total_j)`` samples from the trace."""
+    points = []
+    for index, event in enumerate(events):
+        if isinstance(event, ModeTransitionEvent):
+            if event.energy_j is not None:
+                points.append((event.ts, index, event.energy_j))
+        elif isinstance(event, MeterSampleEvent):
+            points.append((event.ts, index, event.total_j))
+    points.sort()
+    return [(ts, energy) for ts, _, energy in points]
+
+
+def _mode_at(intervals, ts: float) -> Optional[str]:
+    for start, end, mode in intervals:
+        if start <= ts and (end is None or ts < end):
+            return mode
+    if intervals and ts >= intervals[-1][0]:
+        return intervals[-1][2]
+    return None
+
+
+def energy_attribution(events: Sequence[TraceEvent],
+                       scope: Optional[str] = None
+                       ) -> Tuple[Optional[str], Dict[str, float]]:
+    """Joules bucketed by the mode active when they were spent.
+
+    Returns ``(scope, {mode: joules})``.  The buckets sum to
+    ``last_sample - first_sample`` — for a trace covering a whole run
+    on a fresh platform, the ledger's ``total_j``.
+    """
+    scope, intervals = mode_timeline(events, scope)
+    points = energy_points(events)
+    attribution: Dict[str, float] = {}
+    for (t1, e1), (_t2, e2) in zip(points, points[1:]):
+        delta = e2 - e1
+        if delta == 0.0:
+            continue
+        mode = _mode_at(intervals, t1)
+        key = mode if mode is not None else UNTRACKED
+        attribution[key] = attribution.get(key, 0.0) + delta
+    return scope, attribution
+
+
+def energy_attribution_by_scope(events: Sequence[TraceEvent]
+                                ) -> Dict[str, Dict[str, float]]:
+    """The attribution table for every scope (closure + object class)."""
+    return {scope: energy_attribution(events, scope)[1]
+            for scope in transition_scopes(events)}
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def render_timeline(events: Sequence[TraceEvent],
+                    scope: Optional[str] = None,
+                    width: int = 40) -> str:
+    """ASCII mode timeline: one proportional bar per dwell interval."""
+    scope, intervals = mode_timeline(events, scope)
+    if not intervals:
+        return "(no mode transitions recorded)"
+    t0 = intervals[0][0]
+    t_end = max(end for _, end, _ in intervals if end is not None) \
+        if any(end is not None for _, end, _ in intervals) else t0
+    total = max(t_end - t0, 1e-12)
+    lines = [f"Mode timeline (scope={scope}):"]
+    for start, end, mode in intervals:
+        if end is None:
+            lines.append(f"  [{start - t0:10.4f}s .. end      ]  "
+                         f"{mode or '?'}")
+            continue
+        bar = max(1, round((end - start) / total * width))
+        lines.append(f"  [{start - t0:10.4f}s .. {end - t0:8.4f}s]  "
+                     f"{'#' * bar:<{width}}  {mode or '?'} "
+                     f"({_format_seconds(end - start)})")
+    return "\n".join(lines)
+
+
+def _table(headers, rows) -> str:
+    from repro.eval.report import render_table
+    return render_table(headers, rows)
+
+
+def render_report(events: Sequence[TraceEvent],
+                  scope: Optional[str] = None) -> str:
+    """The full plain-text report behind ``repro obs report``."""
+    events = list(events)
+    if not events:
+        return "(empty trace)"
+    sections: List[str] = []
+    t0 = min(e.ts for e in events)
+    t1 = max(e.ts for e in events)
+    sections.append(
+        f"ENT trace report: {len(events)} events, "
+        f"{_format_seconds(t1 - t0)} ({t0:.6f}s .. {t1:.6f}s)")
+
+    spans = [e for e in events if isinstance(e, Span)]
+    if spans:
+        by_cat: Dict[str, List[Span]] = {}
+        for span in spans:
+            by_cat.setdefault(span.category, []).append(span)
+        rows = [[cat, len(group),
+                 _format_seconds(sum(s.dur for s in group)),
+                 _format_seconds(sum(s.dur for s in group) / len(group))]
+                for cat, group in sorted(by_cat.items())]
+        sections.append("Spans:\n" + _table(
+            ["category", "count", "total", "mean"], rows))
+
+    sections.append(render_timeline(events, scope))
+
+    dwell = dwell_times(events, scope)
+    if dwell:
+        total_dwell = sum(dwell.values())
+        rows = [[mode, _format_seconds(seconds),
+                 f"{seconds / total_dwell:6.1%}" if total_dwell else "-"]
+                for mode, seconds in
+                sorted(dwell.items(), key=lambda kv: -kv[1])]
+        sections.append("Dwell times:\n" + _table(
+            ["mode", "time", "share"], rows))
+
+    used_scope, attribution = energy_attribution(events, scope)
+    if attribution:
+        total = sum(attribution.values())
+        rows = [[mode, f"{joules:.4f}",
+                 f"{joules / total:6.1%}" if total else "-"]
+                for mode, joules in
+                sorted(attribution.items(), key=lambda kv: -kv[1])]
+        rows.append(["total", f"{total:.4f}", "100.0%"])
+        sections.append(
+            f"Energy attribution (scope={used_scope}):\n"
+            + _table(["mode", "joules", "share"], rows))
+        for other_scope, table in energy_attribution_by_scope(
+                events).items():
+            if other_scope == used_scope or not table:
+                continue
+            rows = [[mode, f"{joules:.4f}"] for mode, joules in
+                    sorted(table.items(), key=lambda kv: -kv[1])]
+            sections.append(
+                f"Energy attribution (scope={other_scope}):\n"
+                + _table(["mode", "joules"], rows))
+
+    registry = trace_metrics(events)
+    counter_rows = [[name, value] for name, value in
+                    sorted(registry.as_dict()["counters"].items())]
+    if counter_rows:
+        sections.append("Counters:\n" + _table(["counter", "value"],
+                                               counter_rows))
+    hist_rows = [[name, h["count"], _format_seconds(h["mean"]),
+                  _format_seconds(h["p50"]), _format_seconds(h["p99"])]
+                 for name, h in
+                 sorted(registry.as_dict()["histograms"].items())]
+    if hist_rows:
+        sections.append("Latency histograms:\n" + _table(
+            ["histogram", "count", "mean", "p50", "p99"], hist_rows))
+    return "\n\n".join(sections)

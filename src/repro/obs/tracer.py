@@ -1,0 +1,183 @@
+"""The trace collector: a bounded ring buffer of typed events.
+
+Two implementations share one interface:
+
+* :class:`Tracer` — records events with monotonic timestamps (via
+  :func:`repro.platform.clock.monotonic_time`) into a bounded ring
+  buffer; once a platform simulator is attached, timestamps come from
+  the simulation clock instead so runtime events and platform activity
+  share a timeline, and mode transitions capture the energy ledger.
+* :class:`NullTracer` — every operation is a no-op and ``enabled`` is
+  False.  Instrumented hot paths guard with ``if tracer.enabled:`` so
+  the disabled cost is a single attribute check (the Figure-6 overhead
+  budget).
+
+The module-level :data:`NULL_TRACER` is the shared disabled instance;
+code should never construct ``NullTracer`` per call site.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional
+
+from repro.obs.events import (EnergyExceptionEvent, ModeTransitionEvent,
+                              Span, TraceEvent, mode_name)
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "attach_platform"]
+
+
+def _monotonic_clock() -> Callable[[], float]:
+    # Imported lazily: repro.platform's package __init__ pulls in
+    # modules that themselves import repro.obs.
+    from repro.platform.clock import monotonic_time
+    return monotonic_time
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a cheap no-op."""
+
+    enabled = False
+    dropped = 0
+
+    def now(self) -> float:
+        return 0.0
+
+    def energy_j(self) -> Optional[float]:
+        return None
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def bind_platform(self, platform) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, category: str = "phase",
+             **args) -> Iterator[None]:
+        yield
+
+    def mode_transition(self, scope: str, from_mode, to_mode) -> None:
+        pass
+
+    def energy_exception(self, message: str, mode=None, lower=None,
+                         upper=None, source: str = "embedded") -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The shared disabled tracer; one attribute check on every hot path.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects trace events into a bounded ring buffer.
+
+    When the buffer is full the *oldest* event is evicted (``dropped``
+    counts evictions), so a long run keeps its most recent window — the
+    part a crash report or an attached report command wants.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536,
+                 now: Optional[Callable[[], float]] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive, "
+                             f"got {capacity}")
+        self.capacity = capacity
+        self._buffer: List[TraceEvent] = []
+        self._head = 0
+        self.dropped = 0
+        self._platform = None
+        self._now = now if now is not None else _monotonic_clock()
+
+    # ------------------------------------------------------------------
+    # Clock and platform binding
+
+    def bind_platform(self, platform) -> None:
+        """Use the platform's simulation clock and energy ledger."""
+        self._platform = platform
+        self._now = platform.now
+
+    def now(self) -> float:
+        return float(self._now())
+
+    def energy_j(self) -> Optional[float]:
+        """The bound platform's energy-ledger total, if any."""
+        ledger = getattr(self._platform, "ledger", None)
+        return ledger.total_j if ledger is not None else None
+
+    # ------------------------------------------------------------------
+    # Recording
+
+    def emit(self, event: TraceEvent) -> None:
+        buffer = self._buffer
+        if len(buffer) < self.capacity:
+            buffer.append(event)
+        else:
+            buffer[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    def events(self) -> List[TraceEvent]:
+        """Buffered events, oldest first."""
+        return self._buffer[self._head:] + self._buffer[:self._head]
+
+    def clear(self) -> None:
+        self._buffer = []
+        self._head = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    # Convenience emitters (the runtime's hot-path vocabulary)
+
+    @contextmanager
+    def span(self, name: str, category: str = "phase",
+             **args) -> Iterator[None]:
+        """Time a region; the Span is emitted when the block closes."""
+        start = self.now()
+        try:
+            yield
+        finally:
+            self.emit(Span(ts=start, name=name, dur=self.now() - start,
+                           category=category, args=dict(args)))
+
+    def mode_transition(self, scope: str, from_mode, to_mode) -> None:
+        self.emit(ModeTransitionEvent(
+            ts=self.now(), scope=scope, from_mode=mode_name(from_mode),
+            to_mode=mode_name(to_mode), energy_j=self.energy_j()))
+
+    def energy_exception(self, message: str, mode=None, lower=None,
+                         upper=None, source: str = "embedded") -> None:
+        self.emit(EnergyExceptionEvent(
+            ts=self.now(), message=message, mode=mode_name(mode),
+            lower=mode_name(lower), upper=mode_name(upper), source=source))
+
+
+def attach_platform(tracer, platform) -> None:
+    """Wire a tracer to a platform (clock, ledger, and signal reads).
+
+    Platform simulators expose ``set_tracer`` so their own events
+    (signal reads, meter samples) flow into the same buffer; bare
+    platform stubs (e.g. the interpreter's ``NullPlatform``) only
+    contribute their clock.
+    """
+    if platform is None or not tracer.enabled:
+        return
+    setter = getattr(platform, "set_tracer", None)
+    if setter is not None:
+        setter(tracer)
+    else:
+        tracer.bind_platform(platform)

@@ -2,6 +2,19 @@
 
 from __future__ import annotations
 
+import time
+
+
+def monotonic_time() -> float:
+    """Monotonic wall-clock seconds (the tracing timestamp source).
+
+    Observability code (:mod:`repro.obs`) stamps events with this when
+    no platform simulator is attached; with one attached it uses the
+    simulation clock instead, so platform activity and runtime events
+    share a timeline.
+    """
+    return time.monotonic()
+
 
 class SimClock:
     """Simulated wall-clock time in seconds.

@@ -21,6 +21,10 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.core.errors import EntError
+from repro.obs.events import MeterSampleEvent
+from repro.obs.tracer import NULL_TRACER
+
 
 @dataclass
 class EnergyLedger:
@@ -32,7 +36,14 @@ class EnergyLedger:
     net_j: float = 0.0
     display_j: float = 0.0
 
+    #: The valid ``add`` targets, i.e. every component field.
+    COMPONENTS = ("cpu_j", "peripheral_j", "io_j", "net_j", "display_j")
+
     def add(self, component: str, joules: float) -> None:
+        if component not in self.COMPONENTS:
+            raise EntError(
+                f"unknown energy component {component!r}; expected one "
+                f"of {', '.join(self.COMPONENTS)}")
         setattr(self, component, getattr(self, component) + joules)
 
     @property
@@ -54,13 +65,25 @@ class Meter:
     noise_rel: float = 0.0
 
     def __init__(self, ledger: EnergyLedger,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 tracer=None) -> None:
         self._ledger = ledger
         self._rng = rng if rng is not None else random.Random(0)
         self._start: Optional[EnergyLedger] = None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def _trace_sample(self, phase: str) -> None:
+        ledger = self._ledger
+        self.tracer.emit(MeterSampleEvent(
+            ts=self.tracer.now(), meter=type(self).__name__, phase=phase,
+            cpu_j=ledger.cpu_j, peripheral_j=ledger.peripheral_j,
+            io_j=ledger.io_j, net_j=ledger.net_j,
+            display_j=ledger.display_j, total_j=ledger.total_j))
 
     def begin(self) -> None:
         self._start = self._ledger.snapshot()
+        if self.tracer.enabled:
+            self._trace_sample("begin")
 
     def end(self) -> float:
         """Joules consumed (as observed by this meter) since begin()."""
@@ -73,6 +96,8 @@ class Meter:
         self._start = None
         if self.noise_rel > 0.0:
             consumed *= max(0.0, 1.0 + self._rng.gauss(0.0, self.noise_rel))
+        if self.tracer.enabled:
+            self._trace_sample("end")
         return consumed
 
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from repro.obs.events import PlatformReadEvent
+from repro.obs.tracer import NULL_TRACER
 from repro.platform.battery import Battery
 from repro.platform.clock import SimClock
 from repro.platform.cpu import (INTEL_I5, PI2_BCM2836, SNAPDRAGON_808, Cpu,
@@ -75,14 +77,30 @@ class Platform:
         #: Temperature trace: (time, celsius) samples appended on
         #: every activity, consumed by the E3 harness.
         self.temperature_trace = [(0.0, self.thermal.temperature_c)]
+        #: Observability hook; see :meth:`set_tracer`.
+        self.tracer = NULL_TRACER
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer: signal reads and meter windows are recorded,
+        and the tracer's clock becomes this platform's sim clock."""
+        self.tracer = tracer
+        tracer.bind_platform(self)
 
     # ------------------------------------------------------------------
     # Interpreter / embedded-runtime interface
 
     def battery_fraction(self) -> float:
-        return self.battery.fraction(self.clock.now)
+        fraction = self.battery.fraction(self.clock.now)
+        if self.tracer.enabled:
+            self.tracer.emit(PlatformReadEvent(
+                ts=self.clock.now, signal="battery", value=fraction))
+        return fraction
 
     def cpu_temperature(self) -> float:
+        if self.tracer.enabled:
+            self.tracer.emit(PlatformReadEvent(
+                ts=self.clock.now, signal="temperature",
+                value=self.thermal.temperature_c))
         return self.thermal.temperature_c
 
     #: Governor sampling period: large work requests are executed in
@@ -150,7 +168,8 @@ class Platform:
             (self.clock.now, self.thermal.temperature_c))
 
     def meter(self) -> Meter:
-        return self.meter_class(self.ledger, rng=self.rng)
+        return self.meter_class(self.ledger, rng=self.rng,
+                                tracer=self.tracer)
 
     def energy_total_j(self) -> float:
         return self.ledger.total_j

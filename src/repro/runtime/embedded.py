@@ -40,10 +40,14 @@ import copy
 import functools
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Dict, Optional, Union
 
 from repro.core.errors import EnergyException, EntError
 from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
+from repro.obs.events import (AttributorEvent, DfallCheckEvent,
+                              MCaseElimEvent, SnapshotEvent, mode_name)
+from repro.obs.tracer import NULL_TRACER, attach_platform
 from repro.runtime.ext import Ext
 from repro.runtime.tagging import TAG_ATTR, ObjectTag, ensure_tag, get_tag
 
@@ -72,6 +76,14 @@ class RuntimeStats:
     energy_exceptions: int = 0
     mcase_elims: int = 0
 
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name)
+                for f in dataclass_fields(self)}
+
+    def reset(self) -> None:
+        for f in dataclass_fields(self):
+            setattr(self, f.name, f.default)
+
 
 class EntRuntime:
     """The embedded ENT runtime: lattice + mode context + checking.
@@ -85,13 +97,16 @@ class EntRuntime:
 
     def __init__(self, lattice: ModeLattice, platform=None,
                  silent: bool = False, baseline: bool = False,
-                 lazy_copy: bool = True) -> None:
+                 lazy_copy: bool = True, tracer=None) -> None:
         self.lattice = lattice
         self.ext = Ext(platform)
         self.silent = silent
         self.baseline = baseline
         self.lazy_copy = lazy_copy
         self.stats = RuntimeStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if platform is not None:
+            attach_platform(self.tracer, platform)
         self._mode_stack = [TOP]
         self._self_stack = [None]
 
@@ -119,6 +134,7 @@ class EntRuntime:
 
     def bind_platform(self, platform) -> None:
         self.ext.bind(platform)
+        attach_platform(self.tracer, platform)
 
     def mode(self, name: ModeLike) -> Mode:
         mode = Mode(name) if isinstance(name, str) else name
@@ -147,6 +163,9 @@ class EntRuntime:
                 raise EnergyException(
                     "cannot boot from an un-snapshotted dynamic object")
             mode = tag.mode
+        traced = self.tracer.enabled
+        if traced:
+            self.tracer.mode_transition("closure", self.current_mode, mode)
         self._mode_stack.append(mode)
         self._self_stack.append(None)
         try:
@@ -154,6 +173,9 @@ class EntRuntime:
         finally:
             self._mode_stack.pop()
             self._self_stack.pop()
+            if traced:
+                self.tracer.mode_transition("closure", mode,
+                                            self.current_mode)
 
     # ------------------------------------------------------------------
     # Class decorators
@@ -241,6 +263,11 @@ class EntRuntime:
             if not self_call:
                 runtime._check_dfall(guard, obj, func.__name__)
             closure = guard if guard is not None else runtime.current_mode
+            traced = (runtime.tracer.enabled
+                      and closure is not runtime._mode_stack[-1])
+            if traced:
+                runtime.tracer.mode_transition(
+                    "closure", runtime._mode_stack[-1], closure)
             runtime._mode_stack.append(closure)
             runtime._self_stack.append(obj)
             try:
@@ -248,6 +275,9 @@ class EntRuntime:
             finally:
                 runtime._mode_stack.pop()
                 runtime._self_stack.pop()
+                if traced:
+                    runtime.tracer.mode_transition(
+                        "closure", closure, runtime._mode_stack[-1])
 
         wrapper._ent_wrapped = True
         return wrapper
@@ -258,17 +288,28 @@ class EntRuntime:
         if guard is None:
             if self.silent:
                 return
-            raise EnergyException(
-                f"messaging un-snapshotted dynamic object "
-                f"{type(obj).__name__} (method {method}); snapshot first")
+            message = (f"messaging un-snapshotted dynamic object "
+                       f"{type(obj).__name__} (method {method}); "
+                       f"snapshot first")
+            if self.tracer.enabled:
+                self.tracer.energy_exception(message)
+            raise EnergyException(message)
         sender = self.current_mode
-        if not self.lattice.leq(guard, sender) and not self.silent:
+        holds = self.lattice.leq(guard, sender)
+        if self.tracer.enabled:
+            self.tracer.emit(DfallCheckEvent(
+                ts=self.tracer.now(), cls=type(obj).__name__,
+                method=method, receiver_mode=guard.name,
+                sender_mode=sender.name, holds=holds))
+        if not holds and not self.silent:
             self.stats.energy_exceptions += 1
-            raise EnergyException(
-                f"waterfall invariant violated: receiver mode "
-                f"{guard.name} > sender mode {sender.name} "
-                f"({type(obj).__name__}.{method})",
-                mode=guard, upper=sender)
+            message = (f"waterfall invariant violated: receiver mode "
+                       f"{guard.name} > sender mode {sender.name} "
+                       f"({type(obj).__name__}.{method})")
+            if self.tracer.enabled:
+                self.tracer.energy_exception(message, mode=guard,
+                                             upper=sender)
+            raise EnergyException(message, mode=guard, upper=sender)
 
     # ------------------------------------------------------------------
     # Snapshot
@@ -287,7 +328,13 @@ class EntRuntime:
                 f"snapshot requires an instance of a dynamic ENT class, "
                 f"got {type(obj).__name__}")
         self.stats.snapshots += 1
+        traced = self.tracer.enabled
+        previous_mode = tag.mode
         mode = self._run_attributor(obj)
+        if traced:
+            self.tracer.emit(AttributorEvent(
+                ts=self.tracer.now(), cls=type(obj).__name__,
+                mode=mode.name))
         if self.baseline:
             tag.mode = mode
             return obj
@@ -295,12 +342,24 @@ class EntRuntime:
         hi = self.mode(upper) if upper is not None else TOP
         self.stats.bound_checks += 1
         ok = self.lattice.leq(lo, mode) and self.lattice.leq(mode, hi)
+        lazy = ok and self.lazy_copy and not tag.is_snapshot
+        if traced:
+            self.tracer.emit(SnapshotEvent(
+                ts=self.tracer.now(), cls=type(obj).__name__,
+                mode=mode.name, lower=lo.name, upper=hi.name, ok=ok,
+                lazy=lazy))
         if not ok and not self.silent:
             self.stats.energy_exceptions += 1
-            raise EnergyException(
-                f"bad check: attributor of {type(obj).__name__} returned "
-                f"{mode.name}, outside [{lo.name}, {hi.name}]",
-                mode=mode, lower=lo, upper=hi)
+            message = (f"bad check: attributor of {type(obj).__name__} "
+                       f"returned {mode.name}, outside "
+                       f"[{lo.name}, {hi.name}]")
+            if traced:
+                self.tracer.energy_exception(message, mode=mode, lower=lo,
+                                             upper=hi)
+            raise EnergyException(message, mode=mode, lower=lo, upper=hi)
+        if traced and mode is not previous_mode:
+            self.tracer.mode_transition(
+                f"object:{type(obj).__name__}", previous_mode, mode)
         if self.lazy_copy and not tag.is_snapshot:
             self.stats.lazy_tags += 1
             tag.mode = mode
@@ -373,6 +432,10 @@ class ModeCase:
     def select(self, mode: Optional[Mode]):
         """Explicit elimination (the paper's ``e ◃ η``)."""
         self.runtime.stats.mcase_elims += 1
+        tracer = self.runtime.tracer
+        if tracer.enabled:
+            tracer.emit(MCaseElimEvent(ts=tracer.now(),
+                                       mode=mode_name(mode)))
         if mode is None:
             raise EnergyException(
                 "cannot eliminate a mode case against a dynamic mode; "

@@ -1,5 +1,7 @@
 """Unit tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -79,12 +81,17 @@ class TestRun:
     def test_stats_flag(self, program, capsys):
         assert main(["run", program(GOOD), "--stats"]) == 0
         err = capsys.readouterr().err
-        assert "snapshots=1" in err
+        stats = json.loads(err.strip().splitlines()[-1])
+        assert stats["snapshots"] == 1
+        assert "battery" not in stats
 
     def test_platform_flag(self, program, capsys):
         assert main(["run", program(GOOD), "--system", "A",
                      "--battery", "0.5", "--stats"]) == 0
-        assert "battery=" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        stats = json.loads(err.strip().splitlines()[-1])
+        assert 0.0 < stats["battery"] <= 0.5
+        assert stats["energy_j"] >= 0.0
 
     def test_energy_exception_exit_code(self, program, capsys):
         assert main(["run", program(THROWING)]) == 3
@@ -99,6 +106,46 @@ class TestRun:
         path = program(looping, "loop.ent")
         assert main(["run", path, "--fuel", "5000"]) == 1
         assert "exceeded" in capsys.readouterr().err
+
+
+class TestObs:
+    def test_trace_jsonl(self, program, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["run", program(GOOD), "--system", "A",
+                     "--trace", str(trace)]) == 0
+        lines = trace.read_text().strip().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "snapshot" in kinds
+        assert "attributor" in kinds
+
+    def test_trace_chrome_is_valid_json(self, program, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        assert main(["run", program(GOOD), "--system", "A",
+                     "--trace", str(trace),
+                     "--trace-format", "chrome"]) == 0
+        data = json.loads(trace.read_text())
+        events = data["traceEvents"]
+        assert events
+        assert all("ph" in e and "pid" in e for e in events)
+
+    def test_obs_report(self, program, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["run", program(GOOD), "--system", "A",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace report" in out
+        assert "Counters:" in out
+
+    def test_obs_convert(self, program, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        out_path = tmp_path / "t.json"
+        assert main(["run", program(GOOD), "--system", "A",
+                     "--trace", str(trace)]) == 0
+        assert main(["obs", "convert", str(trace), str(out_path)]) == 0
+        assert json.loads(out_path.read_text())["traceEvents"]
 
 
 class TestPrettyAndTokens:

@@ -1,0 +1,290 @@
+"""Unit tests for the observability layer (``repro.obs``)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import EntError
+from repro.obs.events import (AttributorEvent, MeterSampleEvent,
+                              ModeTransitionEvent, PlatformReadEvent,
+                              SnapshotEvent, Span, event_from_dict)
+from repro.obs.export import (chrome_trace, read_jsonl, write_chrome_trace,
+                              write_jsonl, write_trace)
+from repro.obs.metrics import (Histogram, dwell_times, mode_timeline,
+                               trace_metrics, transition_scopes)
+from repro.obs.report import (UNTRACKED, energy_attribution,
+                              render_report, render_timeline)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.platform.systems import make_platform
+from repro.runtime.embedded import EntRuntime
+from repro.workloads.base import temperature_boot_mode
+
+
+def make_tracer(**kwargs):
+    """A tracer on a deterministic manual clock."""
+    clock = {"t": 0.0}
+
+    def now():
+        clock["t"] += 0.5
+        return clock["t"]
+
+    return Tracer(now=now, **kwargs)
+
+
+class TestTracer:
+    def test_records_in_order(self):
+        tracer = make_tracer()
+        for signal in ("battery", "temperature", "battery"):
+            tracer.emit(PlatformReadEvent(ts=tracer.now(), signal=signal,
+                                          value=1.0))
+        kinds = [e.signal for e in tracer.events()]
+        assert kinds == ["battery", "temperature", "battery"]
+        assert len(tracer) == 3
+        assert tracer.dropped == 0
+
+    def test_ring_eviction_keeps_newest(self):
+        tracer = make_tracer(capacity=4)
+        for index in range(10):
+            tracer.emit(PlatformReadEvent(ts=float(index), signal="battery",
+                                          value=float(index)))
+        events = tracer.events()
+        assert len(events) == 4
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        # Oldest first, and only the newest window survives.
+        assert [e.value for e in events] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_clear(self):
+        tracer = make_tracer(capacity=2)
+        for index in range(5):
+            tracer.emit(PlatformReadEvent(ts=float(index), signal="battery",
+                                          value=float(index)))
+        tracer.clear()
+        assert tracer.events() == []
+        assert tracer.dropped == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_span_emits_on_close(self):
+        tracer = make_tracer()
+        with tracer.span("work", category="phase", index=3):
+            pass
+        (span,) = tracer.events()
+        assert isinstance(span, Span)
+        assert span.name == "work"
+        assert span.dur == pytest.approx(0.5)
+        assert span.args == {"index": 3}
+
+    def test_span_emits_on_exception(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert len(tracer.events()) == 1
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit(PlatformReadEvent(ts=0.0, signal="battery",
+                                           value=1.0))
+        NULL_TRACER.mode_transition("closure", None, "safe")
+        with NULL_TRACER.span("anything"):
+            pass
+        assert NULL_TRACER.events() == []
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.energy_j() is None
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_bind_platform_uses_sim_clock_and_ledger(self):
+        platform = make_platform("A", seed=0)
+        tracer = Tracer()
+        platform.set_tracer(tracer)
+        platform.cpu_work(1.0)
+        tracer.mode_transition("closure", None, "safe")
+        (event,) = [e for e in tracer.events()
+                    if isinstance(e, ModeTransitionEvent)]
+        assert event.ts == pytest.approx(platform.now())
+        assert event.energy_j == pytest.approx(platform.ledger.total_j)
+
+
+EXAMPLE_EVENTS = [
+    MeterSampleEvent(ts=0.0, meter="RaplMeter", phase="begin"),
+    Span(ts=0.0, name="boot", dur=1.0, category="phase",
+         args={"index": 0}),
+    AttributorEvent(ts=1.0, cls="Agent", mode="managed"),
+    SnapshotEvent(ts=1.0, cls="Agent", mode="managed", lower=None,
+                  upper=None, ok=True, lazy=True),
+    ModeTransitionEvent(ts=1.0, scope="closure", from_mode="$top",
+                        to_mode="managed", energy_j=2.0),
+    PlatformReadEvent(ts=1.5, signal="battery", value=0.8),
+    ModeTransitionEvent(ts=3.0, scope="closure", from_mode="managed",
+                        to_mode="energy_saver", energy_j=6.0),
+    MeterSampleEvent(ts=4.0, meter="RaplMeter", phase="end",
+                     cpu_j=7.5, io_j=0.5, total_j=8.0),
+]
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        assert write_jsonl(EXAMPLE_EVENTS, path) == len(EXAMPLE_EVENTS)
+        back = read_jsonl(path)
+        assert back == EXAMPLE_EVENTS
+
+    def test_event_from_dict_round_trip(self):
+        for event in EXAMPLE_EVENTS:
+            clone = event_from_dict(json.loads(json.dumps(event.as_dict())))
+            assert clone == event
+
+    def test_event_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"kind": "nope", "ts": 0.0})
+
+    def test_chrome_round_trip_through_json(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_chrome_trace(EXAMPLE_EVENTS, path)
+        data = json.loads(path.read_text())
+        events = data["traceEvents"]
+        assert data["displayTimeUnit"] == "ms"
+        # The Span becomes a complete event with microsecond units.
+        (complete,) = [e for e in events if e["ph"] == "X"]
+        assert complete["name"] == "boot"
+        assert complete["dur"] == pytest.approx(1e6)
+        # Meter samples double as counter tracks.
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 2
+        # Thread-name metadata labels the rows.
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert "ent-runtime" in names
+
+    def test_write_trace_dispatch(self, tmp_path):
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        assert write_trace(EXAMPLE_EVENTS, jsonl, fmt="jsonl") \
+            == len(EXAMPLE_EVENTS)
+        assert write_trace(EXAMPLE_EVENTS, chrome, fmt="chrome") \
+            == len(EXAMPLE_EVENTS)
+        assert read_jsonl(jsonl) == EXAMPLE_EVENTS
+        assert json.loads(chrome.read_text())["traceEvents"]
+        with pytest.raises(ValueError):
+            write_trace(EXAMPLE_EVENTS, jsonl, fmt="xml")
+
+
+class TestTimeline:
+    def test_mode_timeline_and_dwell(self):
+        scope, intervals = mode_timeline(EXAMPLE_EVENTS)
+        assert scope == "closure"
+        # Prepended $top interval, then managed, then the open tail.
+        assert intervals == [
+            (0.0, 1.0, "$top"),
+            (1.0, 3.0, "managed"),
+            (3.0, 4.0, "energy_saver"),
+        ]
+        dwell = dwell_times(EXAMPLE_EVENTS)
+        assert dwell["$top"] == pytest.approx(1.0)
+        assert dwell["managed"] == pytest.approx(2.0)
+        assert dwell["energy_saver"] == pytest.approx(1.0)
+
+    def test_busiest_scope_wins(self):
+        events = list(EXAMPLE_EVENTS) + [
+            ModeTransitionEvent(ts=0.5, scope="object:Sleeper",
+                                from_mode=None, to_mode="safe"),
+        ]
+        assert transition_scopes(events) == ["closure", "object:Sleeper"]
+        assert mode_timeline(events)[0] == "closure"
+        assert mode_timeline(events, "object:Sleeper")[0] \
+            == "object:Sleeper"
+
+    def test_render_timeline_mentions_modes(self):
+        text = render_timeline(EXAMPLE_EVENTS)
+        assert "managed" in text
+        assert "energy_saver" in text
+        assert render_timeline([]) == "(no mode transitions recorded)"
+
+
+class TestAttribution:
+    def test_synthetic_buckets_sum_to_ledger_delta(self):
+        scope, attribution = energy_attribution(EXAMPLE_EVENTS)
+        assert scope == "closure"
+        # 0 J -> 2 J under $top, 2 -> 6 under managed, 6 -> 8 under es.
+        assert attribution == {
+            "$top": pytest.approx(2.0),
+            "managed": pytest.approx(4.0),
+            "energy_saver": pytest.approx(2.0),
+        }
+        assert sum(attribution.values()) == pytest.approx(8.0)
+
+    def test_episode_attribution_sums_to_ledger_total(self):
+        platform = make_platform("A", seed=1)
+        tracer = Tracer()
+        rt = EntRuntime.thermal(platform, tracer=tracer)
+
+        @rt.dynamic
+        class Sleeper:
+            def attributor(self):
+                return temperature_boot_mode(rt.ext.temperature())
+
+        meter = platform.meter()
+        meter.begin()
+        sleeper = Sleeper()
+        for _ in range(4):
+            platform.cpu_work(3.0)
+            rt.snapshot(sleeper)
+        meter.end()
+
+        scope, attribution = energy_attribution(tracer.events())
+        assert scope == "object:Sleeper"
+        assert sum(attribution.values()) \
+            == pytest.approx(platform.ledger.total_j)
+        tracked = {mode: joules for mode, joules in attribution.items()
+                   if mode != UNTRACKED}
+        assert tracked  # at least one real mode got energy
+
+    def test_report_renders_all_sections(self):
+        text = render_report(EXAMPLE_EVENTS)
+        assert "ENT trace report" in text
+        assert "Mode timeline" in text
+        assert "Energy attribution" in text
+        assert "Counters:" in text
+        assert render_report([]) == "(empty trace)"
+
+
+class TestMetrics:
+    def test_trace_metrics_counters(self):
+        registry = trace_metrics(EXAMPLE_EVENTS)
+        counters = registry.as_dict()["counters"]
+        assert counters["events.snapshot"] == 1
+        assert counters["snapshot.lazy"] == 1
+        assert counters["attributor.Agent.managed"] == 1
+        assert counters["platform_read.battery"] == 1
+        assert registry.as_dict()["gauges"]["dwell_s.managed"] \
+            == pytest.approx(2.0)
+
+    def test_histogram_stats(self):
+        hist = Histogram("lat", bounds=[1.0, 10.0, 100.0])
+        for value in (0.5, 2.0, 3.0, 50.0, 500.0):
+            hist.record(value)
+        stats = hist.as_dict()
+        assert stats["count"] == 5
+        assert stats["min"] == 0.5
+        assert stats["max"] == 500.0
+        assert stats["mean"] == pytest.approx(111.1)
+        assert stats["p50"] == 10.0  # upper-bound estimate
+        assert stats["p99"] == 500.0  # overflow bucket reports the max
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=[10.0, 1.0])
+
+
+class TestLedgerValidation:
+    def test_unknown_component_raises_ent_error(self):
+        platform = make_platform("A", seed=0)
+        with pytest.raises(EntError, match="unknown energy component"):
+            platform.ledger.add("gpu_j", 1.0)
+
+    def test_known_components_accumulate(self):
+        platform = make_platform("A", seed=0)
+        platform.ledger.add("io_j", 2.5)
+        assert platform.ledger.io_j == pytest.approx(2.5)
