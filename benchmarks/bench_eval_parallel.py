@@ -1,0 +1,81 @@
+"""Wall-clock benchmark: serial vs parallel figure8 (BENCH_eval.json).
+
+Times one E1 figure8 grid twice — serially and through the
+``repro.eval.parallel`` process pool — verifies the two result sets
+are bit-identical, and writes the measurement as JSON::
+
+    PYTHONPATH=src python benchmarks/bench_eval_parallel.py \\
+        --jobs 0 --out BENCH_eval.json
+
+CI runs this with ``--jobs 2 --benchmarks jspider`` and uploads the
+emitted file as a build artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as host_platform
+import sys
+import time
+from typing import List, Optional
+
+
+def measure(benchmarks: Optional[List[str]], jobs: int,
+            seed: int = 0) -> dict:
+    from repro.eval import figure8
+    from repro.eval.config import e1_benchmarks
+    from repro.eval.parallel import resolve_jobs
+
+    names = benchmarks if benchmarks else e1_benchmarks("A")
+    start = time.perf_counter()
+    serial = figure8("A", seed=seed, benchmarks=names)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = figure8("A", seed=seed, benchmarks=names, jobs=jobs)
+    parallel_s = time.perf_counter() - start
+    identical = all(s.benchmark == p.benchmark and s.cells == p.cells
+                    for s, p in zip(serial, parallel))
+    episodes = sum(len(row.cells) for row in serial)
+    return {
+        "bench": "eval_parallel_figure8",
+        "system": "A",
+        "benchmarks": names,
+        "episodes": episodes,
+        "jobs": resolve_jobs(jobs),
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 4) if parallel_s else None,
+        "identical": identical,
+        "python": host_platform.python_version(),
+        "machine": host_platform.machine(),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serial-vs-parallel figure8 wall-clock benchmark")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel worker count (0 = all cores)")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="benchmarks to run (default: all System-A "
+                             "E1 benchmarks)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_eval.json",
+                        help="path of the JSON report to write")
+    args = parser.parse_args(argv)
+    payload = measure(args.benchmarks, args.jobs, seed=args.seed)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2))
+    print(f"[written to {args.out}]")
+    if not payload["identical"]:
+        print("ERROR: parallel results differ from serial",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro tokens program.ent          # lex only
     python -m repro obs report trace.jsonl      # analyse a trace
     python -m repro obs convert t.jsonl t.json  # JSONL -> Perfetto
+    python -m repro eval figure8 --jobs 0       # parallel evaluation
 
 ``run`` options mirror the paper's build/runtime configurations:
 
@@ -114,6 +115,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="statically check Python code using the embedded ENT API")
     lint.add_argument("file")
 
+    evaluate = sub.add_parser(
+        "eval", add_help=False,
+        help="regenerate the paper's evaluation (repro.eval; "
+             "--jobs N fans episodes out across cores)")
+    evaluate.add_argument("eval_args", nargs=argparse.REMAINDER,
+                          help="arguments passed to repro.eval "
+                               "(e.g. figure8 --jobs 0)")
+
     return parser
 
 
@@ -209,6 +218,12 @@ def _cmd_tokens(args) -> int:
     return 0
 
 
+def _cmd_eval(args) -> int:
+    from repro.eval.__main__ import main as eval_main
+
+    return eval_main(args.eval_args)
+
+
 def _cmd_lint(args) -> int:
     from repro.runtime.lint import lint_source
 
@@ -228,6 +243,7 @@ _COMMANDS = {
     "pretty": _cmd_pretty,
     "tokens": _cmd_tokens,
     "lint": _cmd_lint,
+    "eval": _cmd_eval,
 }
 
 

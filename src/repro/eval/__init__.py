@@ -7,6 +7,7 @@ from repro.eval.e1 import Figure8Row, Figure9Bar, figure8, figure9
 from repro.eval.e2 import Figure10Row, figure10
 from repro.eval.e3 import Figure11Pair, figure11, trace_stats
 from repro.eval.overhead import OverheadRow, figure6, measure_overhead
+from repro.eval.parallel import (EpisodeTask, resolve_jobs, run_episodes)
 from repro.eval.report import (format_figure6, format_figure7,
                                format_figure8, format_figure9,
                                format_figure10, format_figure11,
@@ -14,14 +15,17 @@ from repro.eval.report import (format_figure6, format_figure7,
 from repro.eval.runner import (EpisodeResult, TraceResult,
                                repeated_energies, run_e1_episode,
                                run_e2_episode, run_e3_episode)
-from repro.eval.sweeps import DrainRun, DrainStep, battery_drain_run
+from repro.eval.sweeps import (DrainRun, DrainStep, battery_drain_run,
+                               drain_sweep)
 
 __all__ = [
     "ALL_COMBOS",
     "DrainRun",
     "DrainStep",
     "EpisodeResult",
+    "EpisodeTask",
     "battery_drain_run",
+    "drain_sweep",
     "Figure10Row",
     "Figure11Pair",
     "Figure8Row",
@@ -48,6 +52,8 @@ __all__ = [
     "measure_overhead",
     "render_table",
     "repeated_energies",
+    "resolve_jobs",
+    "run_episodes",
     "run_e1_episode",
     "run_e2_episode",
     "run_e3_episode",

@@ -3,16 +3,20 @@
 Usage::
 
     python -m repro.eval figure9                 # print one figure
+    python -m repro.eval figure8 --jobs 0        # fan out across cores
     python -m repro.eval all                     # print everything
     python -m repro.eval export --dir results    # write JSON data
-    python -m repro.eval drain --benchmark jspider
+    python -m repro.eval drain --benchmark jspider crypto --jobs 2
     python -m repro.eval episode --experiment e3 --benchmark sunflow \\
         --trace /tmp/e3.jsonl            # traced single episode
 
 Figures print in the same text form the benchmark harness writes to
-``results/figure*.txt``.  ``episode`` runs one E1/E2/E3 episode with a
-tracer attached and writes the event trace (analyse it with
-``python -m repro obs report``).
+``results/figure*.txt``.  ``--jobs N`` fans the episode grid out over a
+process pool (``0`` = one worker per core; results are bit-identical
+to serial — see :mod:`repro.eval.parallel`).  ``episode`` runs one
+E1/E2/E3 episode with a tracer attached and writes the event trace
+(analyse it with ``python -m repro obs report``); the figure commands
+accept ``--trace`` too, with per-worker rings merged into one stream.
 """
 
 from __future__ import annotations
@@ -33,19 +37,37 @@ def _build_parser() -> argparse.ArgumentParser:
                  "figure11", "all"):
         cmd = sub.add_parser(name, help=f"regenerate {name}")
         cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--jobs", type=int, default=None,
+                         help="parallel episode workers (default: "
+                              "serial, 0 = all cores)")
+        cmd.add_argument("--trace", metavar="PATH", default=None,
+                         help="record the (merged) episode trace")
+        cmd.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                         default="jsonl")
+        cmd.add_argument("--trace-capacity", type=int, default=262144)
+        if name in ("figure8", "figure11"):
+            cmd.add_argument("--benchmarks", nargs="*", default=None,
+                             help="restrict to these benchmarks")
 
     export = sub.add_parser("export", help="write figure data as JSON")
     export.add_argument("--dir", default="results")
     export.add_argument("--seed", type=int, default=0)
     export.add_argument("--figures", nargs="*", default=None)
+    export.add_argument("--jobs", type=int, default=None,
+                        help="parallel episode workers (default: "
+                             "serial, 0 = all cores)")
 
     drain = sub.add_parser(
         "drain", help="adaptive run across a battery discharge")
-    drain.add_argument("--benchmark", default="jspider")
+    drain.add_argument("--benchmark", nargs="+", default=["jspider"],
+                       help="benchmark(s); several run as a sweep")
     drain.add_argument("--system", default="A")
     drain.add_argument("--iterations", type=int, default=40)
     drain.add_argument("--battery-scale", type=float, default=0.003)
     drain.add_argument("--seed", type=int, default=0)
+    drain.add_argument("--jobs", type=int, default=None,
+                       help="parallel sweep workers (default: serial, "
+                            "0 = all cores)")
 
     episode = sub.add_parser(
         "episode", help="run one traced E1/E2/E3 episode")
@@ -121,7 +143,8 @@ def _run_episode(args) -> int:
     return 0
 
 
-def _print_figure(name: str, seed: int) -> None:
+def _print_figure(name: str, seed: int, jobs=None, tracer=None,
+                  benchmarks=None) -> None:
     from repro.eval import (figure6, figure8, figure9, figure10,
                             figure11, format_figure6, format_figure7,
                             format_figure8, format_figure9,
@@ -131,47 +154,80 @@ def _print_figure(name: str, seed: int) -> None:
     elif name == "figure7":
         print(format_figure7())
     elif name == "figure8":
-        print(format_figure8(figure8("A", seed=seed)))
+        print(format_figure8(figure8("A", seed=seed, jobs=jobs,
+                                     tracer=tracer,
+                                     benchmarks=benchmarks)))
     elif name == "figure9":
-        print(format_figure9(figure9(seed=seed)))
+        print(format_figure9(figure9(seed=seed, jobs=jobs,
+                                     tracer=tracer)))
     elif name == "figure10":
-        print(format_figure10(figure10(seed=seed)))
+        print(format_figure10(figure10(seed=seed, jobs=jobs,
+                                       tracer=tracer)))
     elif name == "figure11":
-        print(format_figure11(figure11(seed=seed)))
+        print(format_figure11(figure11(seed=seed, jobs=jobs,
+                                       tracer=tracer,
+                                       benchmarks=benchmarks)))
+
+
+def _figure_tracer(args):
+    """A Tracer when ``--trace`` was given, else None (NULL)."""
+    if getattr(args, "trace", None) is None:
+        return None
+    from repro.obs.tracer import Tracer
+    return Tracer(capacity=args.trace_capacity)
+
+
+def _write_figure_trace(args, tracer) -> None:
+    if tracer is None:
+        return
+    from repro.obs.export import write_trace
+    count = write_trace(tracer.events(), args.trace,
+                        fmt=args.trace_format)
+    print(f"[trace: {count} events -> {args.trace} "
+          f"({args.trace_format}, {tracer.dropped} dropped)]",
+          file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "all":
+        tracer = _figure_tracer(args)
         for name in ("figure7", "figure6", "figure8", "figure9",
                      "figure10", "figure11"):
-            _print_figure(name, args.seed)
+            _print_figure(name, args.seed, jobs=args.jobs, tracer=tracer)
             print()
+        _write_figure_trace(args, tracer)
         return 0
     if args.command == "export":
         from repro.eval.export import export_all
         written = export_all(directory=args.dir, seed=args.seed,
-                             figures=args.figures)
+                             figures=args.figures, jobs=args.jobs)
         for name, path in written.items():
             print(f"{name}: {path}")
         return 0
     if args.command == "drain":
-        from repro.eval.sweeps import battery_drain_run
-        run = battery_drain_run(args.benchmark, args.system,
-                                iterations=args.iterations,
-                                battery_scale=args.battery_scale,
-                                seed=args.seed)
-        print(f"{args.benchmark} on System {args.system}: "
-              f"{len(run.steps)} iterations")
-        for step in run.steps:
-            print(f"  {step.index:>3} battery={step.battery_before:.0%} "
-                  f"mode={step.boot_mode:<14} qos={step.qos_mode:<14} "
-                  f"E={step.energy_j:.1f}J")
-        print(f"monotone downward: {run.monotone_downward()}")
+        from repro.eval.sweeps import drain_sweep
+        runs = drain_sweep(args.benchmark, systems=(args.system,),
+                           iterations=args.iterations,
+                           battery_scale=args.battery_scale,
+                           seed=args.seed, jobs=args.jobs)
+        for run in runs:
+            print(f"{run.benchmark} on System {run.system}: "
+                  f"{len(run.steps)} iterations")
+            for step in run.steps:
+                print(f"  {step.index:>3} "
+                      f"battery={step.battery_before:.0%} "
+                      f"mode={step.boot_mode:<14} "
+                      f"qos={step.qos_mode:<14} "
+                      f"E={step.energy_j:.1f}J")
+            print(f"monotone downward: {run.monotone_downward()}")
         return 0
     if args.command == "episode":
         return _run_episode(args)
-    _print_figure(args.command, args.seed)
+    tracer = _figure_tracer(args)
+    _print_figure(args.command, args.seed, jobs=args.jobs, tracer=tracer,
+                  benchmarks=getattr(args, "benchmarks", None))
+    _write_figure_trace(args, tracer)
     return 0
 
 

@@ -5,17 +5,23 @@ combinations, twice: once under ENT (the ``EnergyException`` fires on
 the three violating combos, scaling QoS down to energy_saver) and once
 "silent" (the exception is ignored — "what could have been" without
 the runtime type system).
+
+Both grids are enumerated as picklable :class:`EpisodeTask`
+descriptors and submitted through :func:`repro.eval.parallel
+.run_episodes`; with ``jobs`` > 1 the episodes fan out across a
+process pool and the rows/bars are reassembled from keyed results,
+bit-identical to a serial run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.eval.config import ALL_COMBOS, VIOLATING_COMBOS, e1_benchmarks
-from repro.eval.runner import EpisodeResult, run_e1_episode
-from repro.workloads.base import BATTERY_MODES, FT
-from repro.workloads.registry import get_workload
+from repro.eval.parallel import EpisodeTask, run_episodes
+from repro.eval.runner import EpisodeResult
+from repro.workloads.base import FT
 
 __all__ = ["Figure8Row", "Figure9Bar", "figure8", "figure9"]
 
@@ -36,18 +42,31 @@ class Figure8Row:
         return self.cells[(boot, workload, False)].exception_raised
 
 
+def _e1_task(name: str, system: str, boot: str, wl: str, silent: bool,
+             seed: int) -> EpisodeTask:
+    return EpisodeTask(
+        kind="e1", key=(system, name, boot, wl, silent), benchmark=name,
+        params=dict(system=system, boot_mode=boot, workload_mode=wl,
+                    silent=silent, seed=seed))
+
+
 def figure8(system: str = "A", seed: int = 0,
-            benchmarks: List[str] = None) -> List[Figure8Row]:
-    """Run the full E1 grid for one system."""
+            benchmarks: List[str] = None,
+            jobs: Optional[int] = None, tracer=None) -> List[Figure8Row]:
+    """Run the full E1 grid for one system (``jobs`` workers)."""
+    names = benchmarks if benchmarks is not None else e1_benchmarks(system)
+    tasks = [_e1_task(name, system, boot, wl, silent, seed)
+             for name in names
+             for boot, wl in ALL_COMBOS
+             for silent in (False, True)]
+    results = run_episodes(tasks, jobs=jobs, tracer=tracer)
     rows: List[Figure8Row] = []
-    for name in benchmarks if benchmarks is not None \
-            else e1_benchmarks(system):
-        workload = get_workload(name)
+    for name in names:
         row = Figure8Row(benchmark=name)
         for boot, wl in ALL_COMBOS:
             for silent in (False, True):
-                row.cells[(boot, wl, silent)] = run_e1_episode(
-                    workload, system, boot, wl, silent=silent, seed=seed)
+                row.cells[(boot, wl, silent)] = results[
+                    (system, name, boot, wl, silent)]
         rows.append(row)
     return rows
 
@@ -75,23 +94,25 @@ class Figure9Bar:
 
 
 def figure9(systems: Tuple[str, ...] = ("A", "B", "C"),
-            seed: int = 0) -> List[Figure9Bar]:
+            seed: int = 0,
+            jobs: Optional[int] = None, tracer=None) -> List[Figure9Bar]:
     """The three violating combos per benchmark, all systems."""
+    needed = list(VIOLATING_COMBOS) + [(FT, FT)]
+    tasks: List[EpisodeTask] = []
+    for system in systems:
+        for name in e1_benchmarks(system):
+            for boot, wl in needed:
+                for silent in (False, True):
+                    tasks.append(_e1_task(name, system, boot, wl,
+                                          silent, seed))
+    results = run_episodes(tasks, jobs=jobs, tracer=tracer)
     bars: List[Figure9Bar] = []
     for system in systems:
         for name in e1_benchmarks(system):
-            workload = get_workload(name)
-            episodes: Dict[Tuple[str, str, bool], EpisodeResult] = {}
-            needed = set(VIOLATING_COMBOS) | {(FT, FT)}
-            for boot, wl in needed:
-                for silent in (False, True):
-                    episodes[(boot, wl, silent)] = run_e1_episode(
-                        workload, system, boot, wl, silent=silent,
-                        seed=seed)
-            baseline = episodes[(FT, FT, True)].energy_j
+            baseline = results[(system, name, FT, FT, True)].energy_j
             for boot, wl in VIOLATING_COMBOS:
-                ent = episodes[(boot, wl, False)]
-                silent = episodes[(boot, wl, True)]
+                ent = results[(system, name, boot, wl, False)]
+                silent = results[(system, name, boot, wl, True)]
                 bars.append(Figure9Bar(
                     benchmark=name, system=system, boot_mode=boot,
                     workload_mode=wl, ent_energy_j=ent.energy_j,

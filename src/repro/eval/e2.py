@@ -2,18 +2,19 @@
 
 Each benchmark processes its *large* workload under each boot mode;
 the boot mode eliminates a mode case that selects the Figure 7 QoS
-level.  Energies are normalized against the full_throttle boot.
+level.  Energies are normalized against the full_throttle boot.  The
+(system, benchmark, boot) grid fans out through
+:mod:`repro.eval.parallel` when ``jobs`` > 1.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.eval.config import e2_benchmarks
-from repro.eval.runner import run_e2_episode
+from repro.eval.parallel import EpisodeTask, run_episodes
 from repro.workloads.base import BATTERY_MODES, ES, FT, MG
-from repro.workloads.registry import get_workload
 
 __all__ = ["Figure10Row", "figure10"]
 
@@ -41,16 +42,22 @@ class Figure10Row:
 
 
 def figure10(systems: Tuple[str, ...] = ("A", "B", "C"),
-             seed: int = 0) -> List[Figure10Row]:
+             seed: int = 0,
+             jobs: Optional[int] = None,
+             tracer=None) -> List[Figure10Row]:
+    tasks = [EpisodeTask(
+        kind="e2", key=(system, name, boot), benchmark=name,
+        params=dict(system=system, boot_mode=boot, workload_mode=FT,
+                    seed=seed))
+        for system in systems
+        for name in e2_benchmarks(system)
+        for boot in BATTERY_MODES]
+    results = run_episodes(tasks, jobs=jobs, tracer=tracer)
     rows: List[Figure10Row] = []
     for system in systems:
         for name in e2_benchmarks(system):
-            workload = get_workload(name)
-            energies: Dict[str, float] = {}
-            for boot in BATTERY_MODES:
-                episode = run_e2_episode(workload, system, boot,
-                                         workload_mode=FT, seed=seed)
-                energies[boot] = episode.energy_j
+            energies = {boot: results[(system, name, boot)].energy_j
+                        for boot in BATTERY_MODES}
             rows.append(Figure10Row(benchmark=name, system=system,
                                     energy_j=energies))
     return rows

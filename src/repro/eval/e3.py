@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.eval.config import e3_benchmarks
-from repro.eval.runner import TraceResult, run_e3_episode
-from repro.workloads.registry import get_workload
+from repro.eval.parallel import EpisodeTask, run_episodes
+from repro.eval.runner import TraceResult
 
 __all__ = ["Figure11Pair", "figure11", "trace_stats"]
 
@@ -33,14 +33,18 @@ class Figure11Pair:
 
 def figure11(seed: int = 0,
              benchmarks: Optional[List[str]] = None,
-             units: Optional[int] = None) -> List[Figure11Pair]:
-    pairs: List[Figure11Pair] = []
-    for name in benchmarks if benchmarks is not None else e3_benchmarks():
-        workload = get_workload(name)
-        ent = run_e3_episode(workload, "ent", seed=seed, units=units)
-        java = run_e3_episode(workload, "java", seed=seed, units=units)
-        pairs.append(Figure11Pair(benchmark=name, ent=ent, java=java))
-    return pairs
+             units: Optional[int] = None,
+             jobs: Optional[int] = None, tracer=None) -> List[Figure11Pair]:
+    names = benchmarks if benchmarks is not None else e3_benchmarks()
+    tasks = [EpisodeTask(
+        kind="e3", key=(name, variant), benchmark=name,
+        params=dict(variant=variant, seed=seed, units=units))
+        for name in names for variant in ("ent", "java")]
+    results = run_episodes(tasks, jobs=jobs, tracer=tracer)
+    return [Figure11Pair(benchmark=name,
+                         ent=results[(name, "ent")],
+                         java=results[(name, "java")])
+            for name in names]
 
 
 def trace_stats(trace: TraceResult,

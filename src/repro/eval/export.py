@@ -23,8 +23,13 @@ __all__ = ["export_all", "figure_data"]
 
 
 def figure_data(name: str, seed: int = 0,
-                overhead_repeats: int = 5) -> object:
-    """The JSON-serializable data behind one figure."""
+                overhead_repeats: int = 5,
+                jobs: Optional[int] = None) -> object:
+    """The JSON-serializable data behind one figure.
+
+    ``jobs`` fans episode grids out over a process pool (figures
+    8-11); the emitted data is bit-identical to a serial export.
+    """
     if name == "figure6":
         return [{
             "benchmark": row.benchmark,
@@ -39,7 +44,7 @@ def figure_data(name: str, seed: int = 0,
         return figure7_rows()
     if name == "figure8":
         out = []
-        for row in figure8("A", seed=seed):
+        for row in figure8("A", seed=seed, jobs=jobs):
             for (boot, workload, silent), episode in row.cells.items():
                 out.append({
                     "benchmark": row.benchmark,
@@ -63,7 +68,7 @@ def figure_data(name: str, seed: int = 0,
             "ent_normalized": round(bar.ent_normalized, 4),
             "silent_normalized": round(bar.silent_normalized, 4),
             "percent_saved": round(bar.percent_saved, 3),
-        } for bar in figure9(seed=seed)]
+        } for bar in figure9(seed=seed, jobs=jobs)]
     if name == "figure10":
         return [{
             "system": row.system,
@@ -74,10 +79,10 @@ def figure_data(name: str, seed: int = 0,
                 mode: round(row.percent_saved(mode), 3)
                 for mode in BATTERY_MODES},
             "energy_proportional": row.energy_proportional,
-        } for row in figure10(seed=seed)]
+        } for row in figure10(seed=seed, jobs=jobs)]
     if name == "figure11":
         out = []
-        for pair in figure11(seed=seed):
+        for pair in figure11(seed=seed, jobs=jobs):
             for variant, trace in (("ent", pair.ent),
                                    ("java", pair.java)):
                 stats = trace_stats(trace)
@@ -114,14 +119,16 @@ FIGURES = ("figure6", "figure7", "figure8", "figure9", "figure10",
 
 def export_all(directory: str = "results", seed: int = 0,
                figures: Optional[List[str]] = None,
-               overhead_repeats: int = 5) -> Dict[str, str]:
+               overhead_repeats: int = 5,
+               jobs: Optional[int] = None) -> Dict[str, str]:
     """Write ``<figure>.json`` files; returns name -> path."""
     out_dir = pathlib.Path(directory)
     out_dir.mkdir(exist_ok=True)
     written: Dict[str, str] = {}
     for name in figures if figures is not None else FIGURES:
         data = figure_data(name, seed=seed,
-                           overhead_repeats=overhead_repeats)
+                           overhead_repeats=overhead_repeats,
+                           jobs=jobs)
         path = out_dir / f"{name}.json"
         path.write_text(json.dumps(data, indent=2) + "\n")
         written[name] = str(path)

@@ -1,0 +1,154 @@
+"""Process-pool episode executor: fan out E1/E2/E3 grids across cores.
+
+The evaluation's hot path is hundreds of independent simulated episodes
+(every bar of Figures 8-11 and every run of a drain sweep constructs
+its own :class:`~repro.platform.systems.Platform` and
+:class:`~repro.runtime.embedded.EntRuntime`), so the grids are
+embarrassingly parallel.  This module makes that parallelism available
+without giving up the serial harness's two guarantees:
+
+* **Determinism** — every episode is described by a picklable
+  :class:`EpisodeTask` carrying its own seed; the worker rebuilds the
+  workload from the registry and runs exactly the code the serial path
+  runs.  Results are keyed by ``task.key`` and reassembled in the
+  caller's enumeration order, so aggregation is independent of worker
+  completion order and ``jobs=N`` output is bit-identical to serial.
+* **Observability** — each worker records into its own bounded
+  :class:`~repro.obs.tracer.Tracer` ring; the parent merges the
+  per-worker rings into its own tracer in task-submission order (each
+  episode's clock starts at its platform's zero, exactly as in a serial
+  run that rebinds the tracer per episode), so ``repro obs report``
+  works unchanged under fan-out.
+
+``jobs`` semantics everywhere in this package: ``None`` or ``1`` means
+serial in-process execution (the default — no pool, no pickling),
+``0`` means one worker per core, ``N > 1`` means a pool of ``N``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.workloads.registry import get_workload
+
+__all__ = ["EpisodeTask", "run_episodes", "resolve_jobs", "TASK_KINDS"]
+
+#: Episode kinds the executor knows how to run.
+TASK_KINDS = ("e1", "e2", "e3", "drain")
+
+
+@dataclass
+class EpisodeTask:
+    """A picklable description of one episode.
+
+    ``key`` is the caller's aggregation key (any hashable tuple; must
+    be unique within one :func:`run_episodes` call), ``benchmark`` the
+    registry name of the workload, and ``params`` the keyword arguments
+    of the episode runner (``seed`` included — seeding is explicit so
+    fan-out cannot perturb it).
+    """
+
+    kind: str
+    key: Tuple
+    benchmark: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS:
+            raise ValueError(f"unknown episode kind {self.kind!r} "
+                             f"(expected one of {TASK_KINDS})")
+
+    def with_seed(self, seed: int) -> "EpisodeTask":
+        """A copy of this task pinned to ``seed`` (key extended too)."""
+        params = dict(self.params)
+        params["seed"] = seed
+        return EpisodeTask(kind=self.kind, key=tuple(self.key) + (seed,),
+                           benchmark=self.benchmark, params=params)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker count for a ``--jobs`` value (None/1 serial, 0 = cores)."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _run_one(task: EpisodeTask, tracer) -> object:
+    """Run one task in-process (the serial path and the worker body)."""
+    # Imported lazily: repro.eval.runner/sweeps import nothing from this
+    # module at top level, but keeping the edge one-directional at import
+    # time avoids package-init cycles.
+    from repro.eval import runner, sweeps
+
+    if task.kind == "drain":
+        return sweeps.battery_drain_run(task.benchmark, tracer=tracer,
+                                        **task.params)
+    workload = get_workload(task.benchmark)
+    if task.kind == "e1":
+        return runner.run_e1_episode(workload, tracer=tracer, **task.params)
+    if task.kind == "e2":
+        return runner.run_e2_episode(workload, tracer=tracer, **task.params)
+    return runner.run_e3_episode(workload, tracer=tracer, **task.params)
+
+
+def _pool_worker(task: EpisodeTask,
+                 trace_capacity: Optional[int]) -> Tuple:
+    """Worker entry point: run the task, return (key, result, ring).
+
+    Must stay module-level so the pool can pickle it.  The worker's
+    tracer ring travels back as a plain event list (events carry only
+    JSON-serializable fields, so they pickle cheaply).
+    """
+    if trace_capacity is not None:
+        tracer = Tracer(capacity=trace_capacity)
+        result = _run_one(task, tracer)
+        return task.key, result, tracer.events(), tracer.dropped
+    return task.key, _run_one(task, NULL_TRACER), [], 0
+
+
+def run_episodes(tasks: Iterable[EpisodeTask],
+                 jobs: Optional[int] = None,
+                 tracer=None,
+                 trace_capacity: int = 65536) -> Dict[Tuple, object]:
+    """Run every task, returning ``{task.key: result}``.
+
+    Serial (``jobs`` None/1) runs tasks in submission order in-process,
+    sharing ``tracer`` directly.  Parallel submits them to a process
+    pool and reassembles results *by key in submission order*, merging
+    each worker's tracer ring into ``tracer`` at the same point the
+    serial run would have emitted it — so both the result mapping and
+    the merged event stream are identical to the serial run's.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    tasks = list(tasks)
+    keys = [task.key for task in tasks]
+    if len(set(keys)) != len(keys):
+        raise ValueError("duplicate EpisodeTask keys in one batch")
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(tasks) <= 1:
+        return {task.key: _run_one(task, tracer) for task in tasks}
+    capacity = trace_capacity if tracer.enabled else None
+    collected: Dict[Tuple, Tuple[object, List, int]] = {}
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        futures = [pool.submit(_pool_worker, task, capacity)
+                   for task in tasks]
+        for future in as_completed(futures):
+            key, result, events, dropped = future.result()
+            collected[key] = (result, events, dropped)
+    results: Dict[Tuple, object] = {}
+    for task in tasks:
+        result, events, dropped = collected[task.key]
+        results[task.key] = result
+        if tracer.enabled:
+            for event in events:
+                tracer.emit(event)
+            tracer.dropped += dropped
+    return results

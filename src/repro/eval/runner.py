@@ -29,12 +29,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import EnergyException
+from repro.eval.parallel import EpisodeTask, run_episodes
 from repro.obs.tracer import NULL_TRACER
 from repro.platform.systems import Platform, make_platform
 from repro.runtime.embedded import EntRuntime
 from repro.workloads.base import (BOOT_BATTERY_LEVELS, E3_SLEEP_MS, ES, FT,
                                   MG, TaskResult, Workload,
-                                  battery_boot_mode, temperature_boot_mode)
+                                  battery_boot_mode, mode_leq,
+                                  temperature_boot_mode)
 
 __all__ = ["EpisodeResult", "TraceResult", "run_e1_episode",
            "run_e2_episode", "run_e3_episode", "repeated_energies"]
@@ -55,9 +57,13 @@ class EpisodeResult:
 
     @property
     def violating(self) -> bool:
-        """Did this combo violate the waterfall (workload > boot)?"""
-        order = {ES: 0, MG: 1, FT: 2}
-        return order[self.workload_mode] > order[self.boot_mode]
+        """Did this combo violate the waterfall (workload ≰ boot)?
+
+        Derived from the declared battery lattice (not a hard-coded
+        rank table), so classification cannot drift from the
+        ``modes {}`` declaration the runtime itself checks against.
+        """
+        return not mode_leq(self.workload_mode, self.boot_mode)
 
 
 @dataclass
@@ -197,15 +203,23 @@ def run_e2_episode(workload: Workload, system: str, boot_mode: str,
 def run_e3_episode(workload: Workload, variant: str = "ent",
                    seed: int = 0,
                    units: Optional[int] = None,
-                   tracer=None) -> TraceResult:
-    """One temperature-casing run (one curve of Figure 11), System A."""
+                   tracer=None,
+                   platform: Optional[Platform] = None) -> TraceResult:
+    """One temperature-casing run (one curve of Figure 11), System A.
+
+    ``platform`` may be a pre-built (possibly pre-advanced) System-A
+    platform — e.g. one that already ran warm-up work; the trace is
+    normalized against the episode's own start time, not the
+    simulation-clock zero.
+    """
     if not workload.supports_temperature:
         raise ValueError(
             f"{workload.name} has no unit-of-work decomposition for E3")
     if variant not in ("ent", "java"):
         raise ValueError(f"unknown E3 variant {variant!r}")
     tracer = tracer if tracer is not None else NULL_TRACER
-    platform = make_platform("A", seed=seed)
+    if platform is None:
+        platform = make_platform("A", seed=seed)
     rt = EntRuntime.thermal(platform, tracer=tracer)
 
     @rt.dynamic
@@ -240,19 +254,38 @@ def run_e3_episode(workload: Workload, variant: str = "ent",
     duration = platform.now() - start
     if duration <= 0:
         duration = 1.0
-    trace = [((t - 0.0) / duration, temp)
-             for t, temp in platform.temperature_trace if t <= duration]
+    # Normalize against the episode's own window: the simulation clock
+    # is not necessarily at 0 when the episode starts (warm-up work, a
+    # reused platform), so both the offset and the filter are relative
+    # to ``start``.
+    trace = [((t - start) / duration, temp)
+             for t, temp in platform.temperature_trace
+             if start <= t <= start + duration]
     return TraceResult(benchmark=workload.name, variant=variant,
                        trace=trace, energy_j=meter.end(),
                        duration_s=duration, sleeps=sleeps)
 
 
 def repeated_energies(run, times: int = 10,
-                      discard_first: bool = True) -> List[float]:
+                      discard_first: bool = True,
+                      jobs: Optional[int] = None) -> List[float]:
     """Run ``run(seed)`` repeatedly, returning the retained energies.
 
     Mirrors the paper's data collection: 11 runs with the first
-    discarded (JIT warm-up) on Systems A/B, 10 runs on System C.
+    discarded (JIT warm-up) on Systems A/B, 10 runs on System C — the
+    retained count is always ``times`` (one *extra* episode is run
+    when discarding, so ``times=10, discard_first=True`` runs 11 and
+    keeps 10).
+
+    ``run`` is either a callable taking a seed (always executed
+    serially) or an :class:`~repro.eval.parallel.EpisodeTask`
+    template, whose per-seed copies fan out across ``jobs`` workers.
     """
-    energies = [run(seed).energy_j for seed in range(times)]
+    total = times + 1 if discard_first else times
+    if isinstance(run, EpisodeTask):
+        tasks = [run.with_seed(seed) for seed in range(total)]
+        results = run_episodes(tasks, jobs=jobs)
+        energies = [results[task.key].energy_j for task in tasks]
+    else:
+        energies = [run(seed).energy_j for seed in range(total)]
     return energies[1:] if discard_first else energies

@@ -6,19 +6,27 @@ drains.  This module runs that pattern against a benchmark workload and
 records the mode trajectory — the adaptive behaviour the paper's
 abstractions exist to enable, and a useful harness for studying how
 QoS degrades across a whole discharge cycle.
+
+One drain run is inherently sequential (each iteration depends on the
+battery state the previous one left behind), but a *sweep* of runs
+across benchmarks and systems is embarrassingly parallel:
+:func:`drain_sweep` enumerates the runs as picklable task descriptors
+and fans them out through :mod:`repro.eval.parallel`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.eval.parallel import EpisodeTask, run_episodes
+from repro.obs.tracer import NULL_TRACER
 from repro.platform.systems import make_platform
 from repro.runtime.embedded import EntRuntime
-from repro.workloads.base import Workload, battery_boot_mode
+from repro.workloads.base import ES, Workload, battery_boot_mode, mode_leq
 from repro.workloads.registry import get_workload
 
-__all__ = ["DrainStep", "DrainRun", "battery_drain_run"]
+__all__ = ["DrainStep", "DrainRun", "battery_drain_run", "drain_sweep"]
 
 
 @dataclass
@@ -53,10 +61,15 @@ class DrainRun:
         return out
 
     def monotone_downward(self) -> bool:
-        """A draining battery must never *raise* the boot mode."""
-        order = {"energy_saver": 0, "managed": 1, "full_throttle": 2}
-        modes = [order[m] for m in self.mode_trajectory]
-        return all(b <= a for a, b in zip(modes, modes[1:]))
+        """A draining battery must never *raise* the boot mode.
+
+        Compared in the declared battery lattice (``mode_leq``), not a
+        hard-coded rank table, so the check tracks the ``modes {}``
+        declaration the runtime enforces.
+        """
+        modes = self.mode_trajectory
+        return all(mode_leq(later, earlier)
+                   for earlier, later in zip(modes, modes[1:]))
 
     @property
     def total_energy_j(self) -> float:
@@ -67,8 +80,9 @@ def battery_drain_run(benchmark: str = "jspider", system: str = "A",
                       iterations: int = 40,
                       battery_scale: float = 1.0,
                       start_fraction: float = 1.0,
-                      workload_mode: str = "energy_saver",
-                      seed: int = 0) -> DrainRun:
+                      workload_mode: str = ES,
+                      seed: int = 0,
+                      tracer=None) -> DrainRun:
     """Run an adaptive loop over a draining battery.
 
     Each iteration re-snapshots the Agent (its attributor reads the
@@ -77,13 +91,14 @@ def battery_drain_run(benchmark: str = "jspider", system: str = "A",
     ``battery_scale`` shrinks the battery so a full discharge fits in
     ``iterations`` (1.0 = the platform's real capacity).
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     workload: Workload = get_workload(benchmark)
     platform = make_platform(system, seed=seed,
                              battery_fraction=start_fraction)
     if battery_scale != 1.0:
         platform.battery.capacity_joules *= battery_scale
         platform.battery.set_fraction(start_fraction)
-    rt = EntRuntime.standard(platform)
+    rt = EntRuntime.standard(platform, tracer=tracer)
 
     @rt.dynamic
     class Agent:
@@ -98,25 +113,57 @@ def battery_drain_run(benchmark: str = "jspider", system: str = "A",
     scale = getattr(workload, "system_scale", None)
     if scale is not None:
         size *= scale(system)
-    for index in range(iterations):
-        battery_before = platform.battery_fraction()
-        if platform.battery.empty:
-            break
-        # Listing 1's pattern: re-snapshot the agent each iteration
-        # (eager copies after the first — the lazy-copy metadata keeps
-        # this cheap).
-        agent = rt.snapshot(Agent())
-        qos_mode = qos_case.for_object(agent)
-        meter = platform.meter()
-        meter.begin()
-        start = platform.now()
-        with rt.booted(agent):
-            workload.execute(platform, size,
-                             workload.qos_value(qos_mode),
-                             seed=seed + index)
-        run.steps.append(DrainStep(
-            index=index, battery_before=battery_before,
-            boot_mode=rt.mode_of(agent).name, qos_mode=qos_mode,
-            energy_j=meter.end(),
-            duration_s=platform.now() - start))
+    with tracer.span(f"drain:{benchmark}", category="episode",
+                     system=system, iterations=iterations):
+        for index in range(iterations):
+            battery_before = platform.battery_fraction()
+            if platform.battery.empty:
+                break
+            # Listing 1's pattern: re-snapshot the agent each iteration
+            # (eager copies after the first — the lazy-copy metadata
+            # keeps this cheap).
+            agent = rt.snapshot(Agent())
+            qos_mode = qos_case.for_object(agent)
+            meter = platform.meter()
+            meter.begin()
+            start = platform.now()
+            with rt.booted(agent):
+                workload.execute(platform, size,
+                                 workload.qos_value(qos_mode),
+                                 seed=seed + index)
+            run.steps.append(DrainStep(
+                index=index, battery_before=battery_before,
+                boot_mode=rt.mode_of(agent).name, qos_mode=qos_mode,
+                energy_j=meter.end(),
+                duration_s=platform.now() - start))
     return run
+
+
+def drain_sweep(benchmarks: Iterable[str],
+                systems: Sequence[str] = ("A",),
+                iterations: int = 40,
+                battery_scale: float = 1.0,
+                start_fraction: float = 1.0,
+                workload_mode: str = ES,
+                seed: int = 0,
+                jobs: Optional[int] = None,
+                tracer=None) -> List[DrainRun]:
+    """Run one drain per (benchmark, system), fanned out over ``jobs``.
+
+    Returns the runs in (benchmark, system) enumeration order —
+    independent of worker completion order, and bit-identical to
+    calling :func:`battery_drain_run` serially with the same
+    arguments.
+    """
+    keys: List[Tuple[str, str]] = [(name, system)
+                                   for name in benchmarks
+                                   for system in systems]
+    tasks = [EpisodeTask(
+        kind="drain", key=key, benchmark=key[0],
+        params=dict(system=key[1], iterations=iterations,
+                    battery_scale=battery_scale,
+                    start_fraction=start_fraction,
+                    workload_mode=workload_mode, seed=seed))
+        for key in keys]
+    results = run_episodes(tasks, jobs=jobs, tracer=tracer)
+    return [results[key] for key in keys]

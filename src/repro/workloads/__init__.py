@@ -1,15 +1,18 @@
 """The paper's 15 benchmark applications as simulated workload kernels."""
 
-from repro.workloads.base import (BATTERY_MODES, BOOT_BATTERY_LEVELS,
-                                  E3_SLEEP_MS, ES, FT, HOT, MG, OVERHEATING,
-                                  SAFE, THERMAL_MODES, TaskResult, Workload,
-                                  battery_boot_mode, temperature_boot_mode)
+from repro.workloads.base import (BATTERY_LATTICE, BATTERY_MODES,
+                                  BOOT_BATTERY_LEVELS, E3_SLEEP_MS, ES, FT,
+                                  HOT, MG, OVERHEATING, SAFE, THERMAL_LATTICE,
+                                  THERMAL_MODES, TaskResult, Workload,
+                                  battery_boot_mode, mode_leq,
+                                  temperature_boot_mode)
 from repro.workloads.registry import (ALL_WORKLOADS, E1_E2_BENCHMARKS,
                                       E3_BENCHMARKS, get_workload,
                                       workloads_for_system)
 
 __all__ = [
     "ALL_WORKLOADS",
+    "BATTERY_LATTICE",
     "BATTERY_MODES",
     "BOOT_BATTERY_LEVELS",
     "E1_E2_BENCHMARKS",
@@ -21,11 +24,13 @@ __all__ = [
     "MG",
     "OVERHEATING",
     "SAFE",
+    "THERMAL_LATTICE",
     "THERMAL_MODES",
     "TaskResult",
     "Workload",
     "battery_boot_mode",
     "get_workload",
+    "mode_leq",
     "temperature_boot_mode",
     "workloads_for_system",
 ]

@@ -27,7 +27,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.core.modes import Mode
+from repro.core.modes import Mode, ModeLattice
 
 #: Battery-mode names, least to greatest.
 ES, MG, FT = "energy_saver", "managed", "full_throttle"
@@ -36,6 +36,29 @@ BATTERY_MODES = (ES, MG, FT)
 #: Temperature-mode names, least to greatest (cooler = greater).
 OVERHEATING, HOT, SAFE = "overheating", "hot", "safe"
 THERMAL_MODES = (OVERHEATING, HOT, SAFE)
+
+#: The declared battery lattice (``es <= mg <= ft``) — the same chain
+#: :meth:`repro.runtime.embedded.EntRuntime.standard` checks against.
+BATTERY_LATTICE = ModeLattice.linear(list(BATTERY_MODES))
+
+#: The declared thermal lattice (``overheating <= hot <= safe``).
+THERMAL_LATTICE = ModeLattice.linear(list(THERMAL_MODES))
+
+
+def mode_leq(lesser, greater, lattice: ModeLattice = None) -> bool:
+    """``lesser <= greater`` in a declared mode lattice.
+
+    Episode classification (waterfall violations, monotone drain
+    trajectories) must use the *same* order the runtime enforces, so
+    this helper derives the comparison from :meth:`ModeLattice.leq`
+    over the declared lattice (default: :data:`BATTERY_LATTICE`)
+    instead of a hard-coded rank table.  Accepts mode names or
+    :class:`Mode` instances.
+    """
+    lattice = lattice if lattice is not None else BATTERY_LATTICE
+    lesser = lesser if isinstance(lesser, Mode) else Mode(str(lesser))
+    greater = greater if isinstance(greater, Mode) else Mode(str(greater))
+    return lattice.leq(lesser, greater)
 
 
 @dataclass

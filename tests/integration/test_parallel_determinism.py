@@ -1,0 +1,65 @@
+"""Parallel evaluation must be bit-identical to serial evaluation.
+
+Each episode constructs its own platform and runtime from an explicit
+seed, so fanning the grids out across a process pool must not change a
+single cell — these tests pin that guarantee for the figure-8 grid,
+the drain sweep, figure 11, and the repeat protocol.
+"""
+
+from repro.eval import (battery_drain_run, drain_sweep, figure8, figure11,
+                        repeated_energies)
+from repro.eval.parallel import EpisodeTask
+
+BENCHMARKS = ["jspider", "crypto"]
+
+
+class TestFigure8Determinism:
+    def test_jobs4_bit_identical_to_serial(self):
+        serial = figure8(system="A", benchmarks=BENCHMARKS)
+        parallel = figure8(system="A", benchmarks=BENCHMARKS, jobs=4)
+        assert [row.benchmark for row in serial] == \
+            [row.benchmark for row in parallel]
+        for srow, prow in zip(serial, parallel):
+            assert set(srow.cells) == set(prow.cells)
+            for key, episode in srow.cells.items():
+                assert prow.cells[key] == episode, (srow.benchmark, key)
+
+    def test_row_order_follows_enumeration(self):
+        parallel = figure8(system="A", benchmarks=BENCHMARKS[::-1], jobs=2)
+        assert [row.benchmark for row in parallel] == BENCHMARKS[::-1]
+
+
+class TestDrainSweepEquivalence:
+    def test_sweep_matches_serial_runs(self):
+        kwargs = dict(iterations=6, battery_scale=0.003, seed=2)
+        parallel = drain_sweep(BENCHMARKS, systems=("A",), jobs=2,
+                               **kwargs)
+        serial = [battery_drain_run(name, "A", **kwargs)
+                  for name in BENCHMARKS]
+        assert parallel == serial
+
+    def test_sweep_runs_stay_monotone(self):
+        for run in drain_sweep(["jspider"], systems=("A",),
+                               iterations=6, battery_scale=0.003,
+                               jobs=2):
+            assert run.monotone_downward()
+
+
+class TestFigure11Determinism:
+    def test_jobs_equivalent_traces(self):
+        serial = figure11(benchmarks=["sunflow"], units=6)
+        parallel = figure11(benchmarks=["sunflow"], units=6, jobs=2)
+        assert serial == parallel
+
+
+class TestRepeatedEnergiesFanOut:
+    def test_task_fanout_matches_serial_and_count(self):
+        task = EpisodeTask(
+            kind="e1", key=("jspider",), benchmark="jspider",
+            params=dict(system="A", boot_mode="managed",
+                        workload_mode="full_throttle"))
+        serial = repeated_energies(task, times=4, discard_first=True)
+        parallel = repeated_energies(task, times=4, discard_first=True,
+                                     jobs=2)
+        assert serial == parallel
+        assert len(serial) == 4

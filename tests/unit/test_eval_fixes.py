@@ -1,0 +1,120 @@
+"""Regression tests for the evaluation-pipeline correctness fixes:
+
+* ``repeated_energies`` retained-count (the paper runs 11, keeps 10);
+* E3 trace normalization against the episode's own start time;
+* lattice-derived episode classification (no hard-coded mode ranks).
+"""
+
+import pytest
+
+from repro.eval.runner import EpisodeResult, repeated_energies, run_e3_episode
+from repro.eval.sweeps import DrainRun, DrainStep
+from repro.platform.systems import make_platform
+from repro.workloads import (BATTERY_MODES, ES, FT, HOT, MG, OVERHEATING,
+                             SAFE, THERMAL_LATTICE, get_workload, mode_leq)
+
+_ORDER = {mode: rank for rank, mode in enumerate(BATTERY_MODES)}
+
+
+class _FakeEpisode:
+    def __init__(self, energy):
+        self.energy_j = energy
+
+
+class TestRepeatedEnergiesRetainedCount:
+    def test_discard_first_retains_exactly_times(self):
+        calls = []
+
+        def run(seed):
+            calls.append(seed)
+            return _FakeEpisode(float(seed))
+
+        energies = repeated_energies(run, times=10, discard_first=True)
+        assert len(energies) == 10          # the paper keeps 10 ...
+        assert len(calls) == 11             # ... out of 11 runs
+        assert energies == [float(s) for s in range(1, 11)]
+
+    def test_no_discard_runs_exactly_times(self):
+        calls = []
+
+        def run(seed):
+            calls.append(seed)
+            return _FakeEpisode(float(seed))
+
+        energies = repeated_energies(run, times=10, discard_first=False)
+        assert len(energies) == 10
+        assert len(calls) == 10
+        assert energies == [float(s) for s in range(10)]
+
+
+class TestE3TraceNormalization:
+    def test_fresh_platform_trace_normalized(self):
+        result = run_e3_episode(get_workload("sunflow"), "ent", units=4)
+        assert result.trace
+        assert all(0.0 <= t <= 1.0 for t, _ in result.trace)
+
+    def test_preadvanced_clock_trace_survives(self):
+        """Warm-up work before the episode must not destroy the trace:
+        timestamps are normalized against the episode's start, not the
+        simulation-clock zero."""
+        platform = make_platform("A", seed=0)
+        platform.cpu_work(5000.0)       # warm-up: advances the clock
+        platform.sleep(30.0)            # and pads the temperature trace
+        assert platform.now() > 0.0
+        result = run_e3_episode(get_workload("sunflow"), "ent", units=4,
+                                platform=platform)
+        assert result.trace, "pre-advanced clock dropped the whole trace"
+        assert all(0.0 <= t <= 1.0 for t, _ in result.trace)
+        # The trace spans the episode window, not a sliver of it.
+        assert result.trace[-1][0] > 0.9
+
+    def test_preadvanced_matches_fresh_shape(self):
+        fresh = run_e3_episode(get_workload("sunflow"), "java", units=4)
+        platform = make_platform("A", seed=0)
+        platform.sleep(45.0)
+        warmed = run_e3_episode(get_workload("sunflow"), "java", units=4,
+                                platform=platform)
+        assert len(warmed.trace) >= len(fresh.trace) // 2
+        assert warmed.sleeps == fresh.sleeps == 0
+
+
+class TestLatticeClassification:
+    def test_violating_matches_lattice_for_all_combos(self):
+        for boot in BATTERY_MODES:
+            for workload_mode in BATTERY_MODES:
+                episode = EpisodeResult(
+                    benchmark="x", system="A", boot_mode=boot,
+                    workload_mode=workload_mode, qos_mode=MG,
+                    silent=False, energy_j=1.0, duration_s=1.0,
+                    exception_raised=False)
+                expected = _ORDER[workload_mode] > _ORDER[boot]
+                assert episode.violating == expected, (boot, workload_mode)
+
+    def test_mode_leq_battery_chain(self):
+        assert mode_leq(ES, FT)
+        assert mode_leq(MG, MG)
+        assert not mode_leq(FT, ES)
+        assert not mode_leq(FT, MG)
+
+    def test_mode_leq_thermal_chain(self):
+        assert mode_leq(OVERHEATING, SAFE, lattice=THERMAL_LATTICE)
+        assert mode_leq(HOT, SAFE, lattice=THERMAL_LATTICE)
+        assert not mode_leq(SAFE, HOT, lattice=THERMAL_LATTICE)
+
+    def _run_with_trajectory(self, modes):
+        run = DrainRun(benchmark="x", system="A")
+        for index, mode in enumerate(modes):
+            run.steps.append(DrainStep(
+                index=index, battery_before=1.0, boot_mode=mode,
+                qos_mode=mode, energy_j=1.0, duration_s=1.0))
+        return run
+
+    def test_monotone_downward_accepts_descending(self):
+        run = self._run_with_trajectory([FT, FT, MG, ES, ES])
+        assert run.monotone_downward()
+
+    def test_monotone_downward_rejects_any_raise(self):
+        run = self._run_with_trajectory([FT, MG, FT])
+        assert not run.monotone_downward()
+        run = self._run_with_trajectory([ES, MG])
+        assert not run.monotone_downward()
