@@ -4,6 +4,18 @@ interpretation throughput of the ENT implementation itself.
 Not a paper figure — these benches track the reproduction's own
 implementation quality (the compilers-PL equivalent of a perf suite),
 and make pipeline regressions visible.
+
+Besides the pytest-benchmark entry points, the module doubles as a
+standalone reporter::
+
+    PYTHONPATH=src python benchmarks/bench_lang_pipeline.py \\
+        --out BENCH_lang.json
+
+which times every pipeline stage (best-of-N wall clock) and writes the
+measurements in the same spirit as ``BENCH_eval.json``.  CI runs it with
+``--check BENCH_lang.json --max-regression 2.0`` to fail the build when
+the interpreter hot loop regresses more than 2x against the committed
+baseline.
 """
 
 import pytest
@@ -121,24 +133,170 @@ def test_bench_execution_engines(benchmark, compiled):
     assert interp.output == ["23997"]
 
 
+SMALLSTEP_SOURCE = MODES + """
+class D@mode<?X> {
+    int n;
+    attributor { return managed; }
+    D(int n) { this.n = n; }
+    int work(int k) { return n + k; }
+}
+class Main {
+    int main() {
+        return (snapshot (new D@mode<?>(1))).work(
+               (snapshot (new D@mode<?>(2))).work(
+               (snapshot (new D@mode<?>(3))).work(0)));
+    }
+}
+"""
+
+
 def test_bench_smallstep_kernel(benchmark):
     from repro.lang.smallstep import run_kernel
 
-    source = MODES + """
-    class D@mode<?X> {
-        int n;
-        attributor { return managed; }
-        D(int n) { this.n = n; }
-        int work(int k) { return n + k; }
-    }
-    class Main {
-        int main() {
-            return (snapshot (new D@mode<?>(1))).work(
-                   (snapshot (new D@mode<?>(2))).work(
-                   (snapshot (new D@mode<?>(3))).work(0)));
-        }
-    }
-    """
-    checked = check_program(source)
+    checked = check_program(SMALLSTEP_SOURCE)
     value, _ = benchmark(run_kernel, checked)
     assert value == 6
+
+
+# ---------------------------------------------------------------------------
+# Standalone BENCH_lang.json reporter (satellite of the perf PR).
+# ---------------------------------------------------------------------------
+
+#: Keys the CI smoke job guards against regression.  The interpreter hot
+#: loop is the canonical "is the lang pipeline still fast?" signal.
+SMOKE_KEYS = ("hot_loop_walk_s", "hot_loop_compiled_s", "typechecker_s")
+
+
+def _best_of(fn, repeats):
+    import time
+
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _run_hot_loop(compiled):
+    interp = Interpreter(
+        HOT_CHECKED,
+        options=InterpOptions(fuel=10_000_000, compile=compiled))
+    interp.run()
+    if interp.output != ["23997"]:
+        raise AssertionError(
+            f"hot loop produced {interp.output!r}, expected ['23997']")
+
+
+def measure(repeats=5):
+    """Time each pipeline stage (best-of-``repeats`` wall clock)."""
+    import platform as host_platform
+
+    from repro.lang import run_source
+    from repro.lang.smallstep import run_kernel
+
+    small_checked = check_program(SMALLSTEP_SOURCE)
+
+    def run_interp():
+        interp = Interpreter(CHECKED,
+                             options=InterpOptions(fuel=10_000_000))
+        interp.run()
+        if not (interp.output and interp.output[0].isdigit()):
+            raise AssertionError(f"unexpected output {interp.output!r}")
+
+    benches = {
+        "lexer_s": _best_of(lambda: tokenize(PROGRAM), repeats),
+        "parser_s": _best_of(lambda: parse_program(PROGRAM), repeats),
+        "typechecker_s": _best_of(lambda: check_program(PROGRAM), repeats),
+        "interpreter_s": _best_of(run_interp, repeats),
+        "end_to_end_s": _best_of(lambda: run_source(PROGRAM), repeats),
+        "hot_loop_walk_s": _best_of(lambda: _run_hot_loop(False), repeats),
+        "hot_loop_compiled_s": _best_of(lambda: _run_hot_loop(True),
+                                        repeats),
+        "smallstep_s": _best_of(lambda: run_kernel(small_checked), repeats),
+    }
+    return {
+        "bench": "lang_pipeline",
+        "repeats": repeats,
+        "benches": {key: round(value, 6)
+                    for key, value in benches.items()},
+        "python": host_platform.python_version(),
+        "machine": host_platform.machine(),
+    }
+
+
+def check_against(payload, baseline, max_regression):
+    """Compare ``payload`` against a baseline report.
+
+    Returns (ok, lines): ``ok`` is False when any SMOKE_KEYS bench is
+    slower than ``max_regression`` times its baseline number.
+    """
+    ok = True
+    lines = []
+    base_benches = baseline.get("benches", {})
+    for key, current in sorted(payload["benches"].items()):
+        base = base_benches.get(key)
+        if not base:
+            lines.append(f"{key:>22}: {current:.6f}s (no baseline)")
+            continue
+        ratio = current / base
+        marker = ""
+        if key in SMOKE_KEYS and ratio > max_regression:
+            ok = False
+            marker = f"  <-- REGRESSION (> {max_regression:.1f}x)"
+        lines.append(f"{key:>22}: {current:.6f}s vs {base:.6f}s "
+                     f"baseline ({base / current:.2f}x speedup){marker}")
+    return ok, lines
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="lang-pipeline wall-clock benchmark reporter")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N repeats per bench (default 5)")
+    parser.add_argument("--out", default="BENCH_lang.json",
+                        help="path of the JSON report to write")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare against a baseline BENCH_lang.json")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail when a smoke bench is this many times "
+                             "slower than the baseline (default 2.0)")
+    args = parser.parse_args(argv)
+
+    # Load the baseline up front: when --out and --check name the same
+    # file (easy to do from CI) the comparison must use the numbers that
+    # were there before this run, not the ones we are about to write.
+    baseline = None
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+
+    payload = measure(repeats=args.repeats)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2))
+    print(f"[written to {args.out}]")
+
+    if baseline is not None:
+        ok, lines = check_against(payload, baseline, args.max_regression)
+        print(f"[baseline: {args.check}]")
+        for line in lines:
+            print(line)
+        if not ok:
+            print("ERROR: lang-pipeline smoke bench regressed beyond "
+                  f"{args.max_regression}x", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

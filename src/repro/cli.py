@@ -71,6 +71,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable the lazy-copy optimization")
     run.add_argument("--compile", action="store_true",
                      help="closure-compile bodies (faster hot loops)")
+    run.add_argument("--no-inline-caches", action="store_true",
+                     help="disable the run-time caches (method tables, "
+                          "call-site ICs, dfall memo); semantics are "
+                          "identical — see docs/PERFORMANCE.md")
     run.add_argument("--fuel", type=int, default=None,
                      help="maximum evaluation steps")
     run.add_argument("--system", choices=["A", "B", "C"], default=None,
@@ -156,7 +160,8 @@ def _cmd_run(args) -> int:
         tracer = Tracer(capacity=args.trace_capacity)
     options = InterpOptions(silent=args.silent, baseline=args.baseline,
                             lazy_copy=not args.eager_copy,
-                            fuel=args.fuel, compile=args.compile)
+                            fuel=args.fuel, compile=args.compile,
+                            inline_caches=not args.no_inline_caches)
     interp = Interpreter(checked, platform=platform, options=options,
                          seed=args.seed, tracer=tracer)
     status = 0

@@ -9,11 +9,18 @@ reflexive-transitive closure of ``K' ∪ D`` is a subset of the closure of
 We represent a variable by its name (a plain string) and a constant by a
 :class:`~repro.core.modes.Mode`; a constraint is an ordered pair.  The
 lattice supplies the ground facts between constants.
+
+Sets are immutable, which makes them ideal cache subjects: the adjacency
+index, reachability closures, and entailment answers are memoized per
+instance, and :meth:`extend`/:meth:`substitute` route through an interning
+constructor so equal sets share one instance (and therefore one warm
+cache) per lattice.  ``ConstraintSet.MEMOIZE`` switches every cache off
+for the cache-transparency test suite; see docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
 
@@ -40,17 +47,36 @@ class ConstraintSet:
     * :meth:`entails` — does it derive every constraint of another set?
     """
 
-    __slots__ = ("_constraints", "lattice")
+    __slots__ = ("_constraints", "lattice", "_fwd", "_rev", "_vars",
+                 "_reach", "_back", "_entailed")
+
+    #: Class-wide switch for every derived-result cache (reachability,
+    #: entailment memos, interning).  The adjacency index itself is pure
+    #: representation and stays on either way.  Flip to ``False`` only in
+    #: cache-transparency tests; answers must not change.
+    MEMOIZE = True
 
     def __init__(self, lattice: ModeLattice,
-                 constraints: Iterable[Constraint] = ()) -> None:
+                 constraints: Iterable[Constraint] = (),
+                 *, _validated: Optional[FrozenSet[Constraint]] = None) -> None:
         self.lattice = lattice
-        normalized: Set[Constraint] = set()
-        for lhs, rhs in constraints:
-            self._check_atom(lhs)
-            self._check_atom(rhs)
-            normalized.add((lhs, rhs))
-        self._constraints: FrozenSet[Constraint] = frozenset(normalized)
+        if _validated is not None:
+            # Internal fast path: atoms were validated by the instance
+            # the set was derived from (extend/substitute/interning).
+            self._constraints = _validated
+        else:
+            normalized: Set[Constraint] = set()
+            for lhs, rhs in constraints:
+                self._check_atom(lhs)
+                self._check_atom(rhs)
+                normalized.add((lhs, rhs))
+            self._constraints = frozenset(normalized)
+        self._fwd: Optional[Dict[Atom, Tuple[Atom, ...]]] = None
+        self._rev: Optional[Dict[Atom, Tuple[Atom, ...]]] = None
+        self._vars: Optional[FrozenSet[str]] = None
+        self._reach: Dict[Atom, FrozenSet[Atom]] = {}
+        self._back: Dict[Atom, FrozenSet[Atom]] = {}
+        self._entailed: Dict[Constraint, bool] = {}
 
     def _check_atom(self, atom: Atom) -> None:
         if isinstance(atom, Mode):
@@ -60,46 +86,103 @@ class ConstraintSet:
                             f"name, got {atom!r}")
 
     # ------------------------------------------------------------------
+    # Derivation (interned fast constructor)
+
+    @classmethod
+    def _make(cls, lattice: ModeLattice,
+              validated: FrozenSet[Constraint]) -> "ConstraintSet":
+        """Build from already-validated constraints, interning per lattice.
+
+        Interning means repeatedly deriving the same set (each method body
+        re-extends its class's base constraints, every generic call site
+        re-substitutes the same mode arguments) lands on one instance whose
+        reachability/entailment caches are already warm.
+        """
+        if not ConstraintSet.MEMOIZE:
+            return cls(lattice, _validated=validated)
+        try:
+            table = lattice._constraint_set_intern  # type: ignore[attr-defined]
+        except AttributeError:
+            table = {}
+            lattice._constraint_set_intern = table  # type: ignore[attr-defined]
+        existing = table.get(validated)
+        if existing is None:
+            existing = cls(lattice, _validated=validated)
+            table[validated] = existing
+        return existing
+
+    # ------------------------------------------------------------------
 
     @property
     def constraints(self) -> FrozenSet[Constraint]:
         return self._constraints
 
     def extend(self, extra: Iterable[Constraint]) -> "ConstraintSet":
-        """A new constraint set with ``extra`` added."""
-        return ConstraintSet(self.lattice,
-                             list(self._constraints) + list(extra))
+        """A new constraint set with ``extra`` added.
+
+        Only the *new* constraints are validated; the atoms already in
+        this set were checked when it was built.
+        """
+        extra_list: List[Constraint] = []
+        for lhs, rhs in extra:
+            self._check_atom(lhs)
+            self._check_atom(rhs)
+            extra_list.append((lhs, rhs))
+        combined = self._constraints.union(extra_list)
+        if ConstraintSet.MEMOIZE and combined == self._constraints:
+            return self
+        return self._make(self.lattice, combined)
 
     def variables(self) -> FrozenSet[str]:
         """All mode type variables mentioned by the constraints."""
-        out: Set[str] = set()
-        for lhs, rhs in self._constraints:
-            if _is_var(lhs):
-                out.add(lhs)
-            if _is_var(rhs):
-                out.add(rhs)
-        return frozenset(out)
+        if self._vars is None:
+            out: Set[str] = set()
+            for lhs, rhs in self._constraints:
+                if _is_var(lhs):
+                    out.add(lhs)
+                if _is_var(rhs):
+                    out.add(rhs)
+            self._vars = frozenset(out)
+        return self._vars
 
     def substitute(self, mapping: Dict[str, Atom]) -> "ConstraintSet":
-        """Point-wise substitution of variables (the paper's ``{iota/iota'}``)."""
+        """Point-wise substitution of variables (the paper's ``{iota/iota'}``).
+
+        Validates only the atoms the mapping actually introduces; the
+        untouched atoms were validated when this set was built.
+        """
+        get = mapping.get
+
         def subst(atom: Atom) -> Atom:
-            if _is_var(atom) and atom in mapping:
-                return mapping[atom]
+            if type(atom) is str:
+                new = get(atom)
+                if new is not None:
+                    self._check_atom(new)
+                    return new
             return atom
 
-        return ConstraintSet(
-            self.lattice,
-            [(subst(lhs), subst(rhs)) for lhs, rhs in self._constraints])
+        pairs = frozenset((subst(lhs), subst(rhs))
+                          for lhs, rhs in self._constraints)
+        return self._make(self.lattice, pairs)
 
     # ------------------------------------------------------------------
     # Entailment
 
+    def _index(self) -> Dict[Atom, Tuple[Atom, ...]]:
+        """Forward adjacency of the explicit constraints (lazy, cached)."""
+        if self._fwd is None:
+            fwd: Dict[Atom, List[Atom]] = {}
+            rev: Dict[Atom, List[Atom]] = {}
+            for lhs, rhs in self._constraints:
+                fwd.setdefault(lhs, []).append(rhs)
+                rev.setdefault(rhs, []).append(lhs)
+            self._fwd = {a: tuple(s) for a, s in fwd.items()}
+            self._rev = {a: tuple(s) for a, s in rev.items()}
+        return self._fwd
+
     def _successors(self, atom: Atom) -> Set[Atom]:
         """Atoms one step above ``atom`` under K ∪ D."""
-        out: Set[Atom] = set()
-        for lhs, rhs in self._constraints:
-            if lhs == atom:
-                out.add(rhs)
+        out: Set[Atom] = set(self._index().get(atom, ()))
         if isinstance(atom, Mode):
             # Ground lattice facts (the full up-set keeps the search
             # shallow), plus the implicit BOTTOM <= var axioms so that
@@ -112,7 +195,23 @@ class ConstraintSet:
             out.add(TOP)
         return out
 
-    def _reachable(self, start: Atom) -> Set[Atom]:
+    def _predecessors(self, atom: Atom) -> Set[Atom]:
+        """Atoms one step below ``atom`` — the transpose of _successors."""
+        self._index()
+        assert self._rev is not None
+        out: Set[Atom] = set(self._rev.get(atom, ()))
+        if isinstance(atom, Mode):
+            out.update(self.lattice.down_set(atom))
+            if atom == TOP:
+                out.update(self.variables())
+        else:
+            out.add(BOTTOM)
+        return out
+
+    def _reachable(self, start: Atom) -> FrozenSet[Atom]:
+        cached = self._reach.get(start)
+        if cached is not None:
+            return cached
         seen: Set[Atom] = {start}
         frontier = [start]
         while frontier:
@@ -121,7 +220,28 @@ class ConstraintSet:
                 if nxt not in seen:
                     seen.add(nxt)
                     frontier.append(nxt)
-        return seen
+        result = frozenset(seen)
+        if ConstraintSet.MEMOIZE:
+            self._reach[start] = result
+        return result
+
+    def _reachable_back(self, start: Atom) -> FrozenSet[Atom]:
+        """Everything that reaches ``start`` under K ∪ D."""
+        cached = self._back.get(start)
+        if cached is not None:
+            return cached
+        seen: Set[Atom] = {start}
+        frontier = [start]
+        while frontier:
+            atom = frontier.pop()
+            for prev in self._predecessors(atom):
+                if prev not in seen:
+                    seen.add(prev)
+                    frontier.append(prev)
+        result = frozenset(seen)
+        if ConstraintSet.MEMOIZE:
+            self._back[start] = result
+        return result
 
     def entails_one(self, lhs: Atom, rhs: Atom) -> bool:
         """Does ``K ∪ D`` derive ``lhs <= rhs``?"""
@@ -134,14 +254,22 @@ class ConstraintSet:
         if isinstance(lhs, Mode) and isinstance(rhs, Mode):
             if self.lattice.leq(lhs, rhs):
                 return True
+        key = (lhs, rhs)
+        cached = self._entailed.get(key)
+        if cached is not None:
+            return cached
         reach = self._reachable(lhs)
         if rhs in reach:
-            return True
-        # lhs <= BOTTOM squeezes lhs to the bottom: below everything.
-        if BOTTOM in reach:
-            return True
-        # TOP <= rhs squeezes rhs to the top: above everything.
-        return rhs in self._reachable(TOP)
+            answer = True
+        elif BOTTOM in reach:
+            # lhs <= BOTTOM squeezes lhs to the bottom: below everything.
+            answer = True
+        else:
+            # TOP <= rhs squeezes rhs to the top: above everything.
+            answer = rhs in self._reachable(TOP)
+        if ConstraintSet.MEMOIZE:
+            self._entailed[key] = answer
+        return answer
 
     def entails(self, other: "ConstraintSet") -> bool:
         """``K |= K'``: every constraint of ``other`` is derivable here."""
@@ -171,18 +299,19 @@ class ConstraintSet:
         Used to check bounded snapshots statically and to report helpful
         error messages.  Conservative: joins all constant lower bounds and
         meets all constant upper bounds reachable through the constraint
-        graph.
+        graph.  Lower bounds come from one backward reachability pass —
+        the constants that reach ``var`` — rather than a forward search
+        from every constant in the set.
         """
         lo, hi = BOTTOM, TOP
+        meet = self.lattice.meet
+        join = self.lattice.join
         for atom in self._reachable(var):
             if isinstance(atom, Mode):
-                hi = self.lattice.meet(hi, atom)
-        # Lower bounds: constants that reach the variable.
-        constants = {a for c in self._constraints for a in c
-                     if isinstance(a, Mode)}
-        for const in constants:
-            if var in self._reachable(const):
-                lo = self.lattice.join(lo, const)
+                hi = meet(hi, atom)
+        for atom in self._reachable_back(var):
+            if isinstance(atom, Mode):
+                lo = join(lo, atom)
         return lo, hi
 
     # ------------------------------------------------------------------

@@ -9,7 +9,6 @@ failed casts).  All exceptions raised by this package derive from
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 
@@ -17,15 +16,39 @@ class EntError(Exception):
     """Base class for every error raised by the ENT reproduction."""
 
 
-@dataclass
 class SourceSpan:
-    """A half-open region of source text, for error reporting."""
+    """A half-open region of source text, for error reporting.
 
-    line: int
-    column: int
-    end_line: Optional[int] = None
-    end_column: Optional[int] = None
-    filename: str = "<ent>"
+    A plain ``__slots__`` class rather than a dataclass: the lexer mints
+    one span per token, so construction cost is on the pipeline hot path.
+    """
+
+    __slots__ = ("line", "column", "end_line", "end_column", "filename")
+
+    def __init__(self, line: int, column: int,
+                 end_line: Optional[int] = None,
+                 end_column: Optional[int] = None,
+                 filename: str = "<ent>") -> None:
+        self.line = line
+        self.column = column
+        self.end_line = end_line
+        self.end_column = end_column
+        self.filename = filename
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourceSpan):
+            return NotImplemented
+        return (self.line == other.line
+                and self.column == other.column
+                and self.end_line == other.end_line
+                and self.end_column == other.end_column
+                and self.filename == other.filename)
+
+    def __repr__(self) -> str:
+        return (f"SourceSpan(line={self.line!r}, column={self.column!r}, "
+                f"end_line={self.end_line!r}, "
+                f"end_column={self.end_column!r}, "
+                f"filename={self.filename!r})")
 
     def __str__(self) -> str:
         return f"{self.filename}:{self.line}:{self.column}"

@@ -34,7 +34,7 @@ class Mode:
 
     _interned: Dict[str, "Mode"] = {}
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __new__(cls, name: str) -> "Mode":
         existing = cls._interned.get(name)
@@ -44,6 +44,7 @@ class Mode:
             raise ModeLatticeError(f"invalid mode name: {name!r}")
         mode = super().__new__(cls)
         mode.name = name
+        mode._hash = hash(name)
         cls._interned[name] = mode
         return mode
 
@@ -54,7 +55,7 @@ class Mode:
         return self.name
 
     def __hash__(self) -> int:
-        return hash(self.name)
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Mode):
@@ -105,7 +106,17 @@ class ModeLattice:
             modes.add(greater)
         self._modes: FrozenSet[Mode] = frozenset(modes)
         self._leq: Dict[Mode, FrozenSet[Mode]] = self._close()
+        # Down-sets are the transpose of the up-set closure; precomputing
+        # them here makes down_set/meet O(1) lookups instead of per-query
+        # scans over the whole lattice.
+        self._geq: Dict[Mode, FrozenSet[Mode]] = {
+            m: frozenset(o for o in self._modes if m in self._leq[o])
+            for m in self._modes}
         self._validate_antisymmetry()
+        # Validation visits every pair anyway, so it doubles as the pass
+        # that fills the join/meet tables consulted by join()/meet().
+        self._joins: Dict[Tuple[Mode, Mode], Mode] = {}
+        self._meets: Dict[Tuple[Mode, Mode], Mode] = {}
         self._validate_lattice()
 
     @classmethod
@@ -162,15 +173,22 @@ class ModeLattice:
                     f"mode declaration cycle: {a} <= {b} and {b} <= {a}")
 
     def _validate_lattice(self) -> None:
+        for m in self._modes:
+            self._joins[(m, m)] = m
+            self._meets[(m, m)] = m
         for a, b in itertools.combinations(self._modes, 2):
-            if self._lub(a, b) is None:
+            lub = self._lub(a, b)
+            if lub is None:
                 raise ModeLatticeError(
                     f"modes {a} and {b} have no unique least upper bound; "
                     f"the declared order is not a lattice")
-            if self._glb(a, b) is None:
+            glb = self._glb(a, b)
+            if glb is None:
                 raise ModeLatticeError(
                     f"modes {a} and {b} have no unique greatest lower "
                     f"bound; the declared order is not a lattice")
+            self._joins[(a, b)] = self._joins[(b, a)] = lub
+            self._meets[(a, b)] = self._meets[(b, a)] = glb
 
     # ------------------------------------------------------------------
     # Queries
@@ -199,11 +217,15 @@ class ModeLattice:
 
     def leq(self, lesser: Mode, greater: Mode) -> bool:
         """The declared order: ``lesser <= greater``?"""
-        if lesser not in self._modes:
-            raise UnknownModeError(lesser.name)
+        try:
+            up = self._leq[lesser]
+        except KeyError:
+            raise UnknownModeError(lesser.name) from None
+        if greater in up:
+            return True
         if greater not in self._modes:
             raise UnknownModeError(greater.name)
-        return greater in self._leq[lesser]
+        return False
 
     def lt(self, lesser: Mode, greater: Mode) -> bool:
         """Strict order: ``lesser <= greater`` and the two are distinct."""
@@ -220,9 +242,10 @@ class ModeLattice:
 
     def down_set(self, mode: Mode) -> FrozenSet[Mode]:
         """All modes ≤ ``mode`` (including itself)."""
-        if mode not in self._modes:
-            raise UnknownModeError(mode.name)
-        return frozenset(m for m in self._modes if mode in self._leq[m])
+        try:
+            return self._geq[mode]
+        except KeyError:
+            raise UnknownModeError(mode.name) from None
 
     def _lub(self, a: Mode, b: Mode) -> Optional[Mode]:
         uppers = self._leq[a] & self._leq[b]
@@ -238,15 +261,21 @@ class ModeLattice:
 
     def join(self, a: Mode, b: Mode) -> Mode:
         """Least upper bound.  Always defined for a validated lattice."""
-        result = self._lub(self.require(a), self.require(b))
-        assert result is not None, "validated lattice lost its join"
-        return result
+        try:
+            return self._joins[(a, b)]
+        except KeyError:
+            self.require(a)
+            self.require(b)
+            raise AssertionError("validated lattice lost its join")
 
     def meet(self, a: Mode, b: Mode) -> Mode:
         """Greatest lower bound.  Always defined for a validated lattice."""
-        result = self._glb(self.require(a), self.require(b))
-        assert result is not None, "validated lattice lost its meet"
-        return result
+        try:
+            return self._meets[(a, b)]
+        except KeyError:
+            self.require(a)
+            self.require(b)
+            raise AssertionError("validated lattice lost its meet")
 
     def clamp(self, mode: Mode, lower: Mode, upper: Mode) -> bool:
         """Is ``lower <= mode <= upper``?  (Snapshot bound check.)"""

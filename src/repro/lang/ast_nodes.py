@@ -128,6 +128,12 @@ class Var(Expr):
 
     name: str = ""
 
+    # The typechecker overwrites this with an instance attribute
+    # ("local" / "field" / "mode" / "native").  The class-level default
+    # lets the interpreter's hot path read ``expr.resolved_kind``
+    # directly instead of paying for ``getattr`` with a fallback.
+    resolved_kind = None
+
 
 @dataclass
 class This(Expr):
@@ -255,6 +261,11 @@ class LocalVarDecl(Stmt):
 class Assign(Stmt):
     target: Expr = field(default_factory=Var)  # Var or FieldAccess
     value: Expr = field(default_factory=NullLit)
+
+    # Set by the typechecker when the target's declared type is an
+    # mcase type (the RHS must then evaluate un-eliminated); class-level
+    # default for getattr-free hot-path reads, like ``Var.resolved_kind``.
+    wants_mcase = False
 
 
 @dataclass

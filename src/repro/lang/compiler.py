@@ -1,32 +1,44 @@
 """Closure compilation for the ENT interpreter.
 
-A classic tree-walking-interpreter optimization (see e.g. "A fast
-closure-based interpreter"): each AST node is translated **once** into
-a Python closure ``code(frame) -> value``, eliminating the per-step
-``isinstance`` dispatch of the tree walk.  Semantics are *not*
-duplicated — the closures call straight back into the same
-:class:`~repro.lang.interp.Interpreter` helpers (`_invoke`,
-`_construct`, `_eval_snapshot`-equivalents, natives), so the mode
-machinery lives in exactly one place.  Differential tests run every
-program under both execution engines.
+A classic tree-walking-interpreter optimization: each AST node is
+translated **once** into a Python closure ``code(frame) -> value``,
+eliminating per-step dispatch.  Semantics are *not* duplicated — the
+closures call straight back into the same
+:class:`~repro.lang.interp.Interpreter` helpers (``_invoke``,
+``_construct``, ``_snapshot_value``, ``_cast_value``, ``_binary_op``,
+natives), so the mode machinery lives in exactly one place.
+Differential tests run every program under both execution engines.
+
+Hot-path engineering on top of the closure translation (see
+``docs/PERFORMANCE.md``):
+
+* **Slot-resolved frames** — local variables are assigned frame slots
+  at compile time; reads and writes are list indexing instead of a
+  scope-chain dict walk.  Parameters occupy slots ``0..n-1``.
+* **Polymorphic inline caches** — each call site caches the resolved
+  method (and the matching argument compilation) per receiver class,
+  so repeated calls skip the method-table lookup entirely.
+* **Batched fuel** — fuel is charged once per block entry and once per
+  loop iteration rather than per AST node; still a divergence bound
+  (every cycle passes through a loop head or a non-empty body block).
 
 Enable with ``InterpOptions(compile=True)`` or the CLI flag
-``--compile``; `bench_lang_pipeline.py` tracks the speedup.
+``--compile``; ``bench_lang_pipeline.py`` tracks the speedup.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.errors import EnergyException, StuckError
-from repro.core.modes import Mode
+from repro.core.modes import BOTTOM, TOP, Mode
 from repro.lang import ast_nodes as ast
 from repro.lang import types as ty
 from repro.lang.natives import (NATIVE_STATIC_CLASSES, call_list_method,
                                 call_native_static, call_string_method)
 from repro.lang.values import MCaseV, ObjectV
 
-__all__ = ["compile_block", "compile_expr"]
+__all__ = ["compile_body", "compile_block", "compile_expr"]
 
 #: Compiled code: frame -> value.
 Code = Callable
@@ -45,125 +57,198 @@ class _Continue(Exception):
 # versa).
 
 
-def _cache(interp) -> Dict[int, Code]:
-    store = getattr(interp, "_compiled_cache", None)
-    if store is None:
-        store = {}
-        interp._compiled_cache = store
-    return store
+class _CompileScope:
+    """Compile-time name -> frame-slot mapping with block scoping.
+
+    ``declare`` always allocates a fresh slot (shadowing gets its own
+    storage); ``n_slots`` is the high-water mark used to size the
+    frame's slot list.  ``push``/``pop`` save and restore only the name
+    visibility, never the slot counter, so sibling blocks don't alias.
+    """
+
+    __slots__ = ("names", "n_slots", "_saved")
+
+    def __init__(self, param_names=()) -> None:
+        self.names: Dict[str, int] = {}
+        self.n_slots = 0
+        self._saved = []
+        for name in param_names:
+            self.declare(name)
+
+    def declare(self, name: str) -> int:
+        slot = self.n_slots
+        self.n_slots = slot + 1
+        self.names[name] = slot
+        return slot
+
+    def lookup(self, name: str) -> Optional[int]:
+        return self.names.get(name)
+
+    def push(self) -> None:
+        self._saved.append(dict(self.names))
+
+    def pop(self) -> None:
+        self.names = self._saved.pop()
+
+
+def compile_body(interp, block: ast.Block,
+                 param_names=()) -> Tuple[Code, int]:
+    """Compile a method/constructor/attributor body.
+
+    Returns ``(code, n_slots)``; the caller seeds a slot list with the
+    argument values in slots ``0..len(param_names)-1`` (see
+    ``Interpreter._run_compiled_body``).
+    """
+    scope = _CompileScope(param_names)
+    code = _compile_block(interp, block, scope)
+    return code, scope.n_slots
 
 
 def compile_block(interp, block: ast.Block) -> Code:
-    """Compile a statement block (cached per AST node)."""
-    cache = _cache(interp)
-    code = cache.get(id(block))
-    if code is None:
-        code = _compile_block(interp, block)
-        cache[id(block)] = code
-    return code
-
-
-def _compile_block(interp, block: ast.Block) -> Code:
-    stmts = [_compile_stmt(interp, stmt) for stmt in block.stmts]
+    """Compatibility wrapper: compile a block with no parameters.  The
+    returned code sizes the frame's slot list itself."""
+    code, n_slots = compile_body(interp, block, ())
 
     def run(frame):
-        frame.push()
-        try:
-            for stmt in stmts:
-                stmt(frame)
-        finally:
-            frame.pop()
+        if frame.slots is None or len(frame.slots) < n_slots:
+            frame.slots = [None] * n_slots
+        code(frame)
 
     return run
 
 
-def _compile_stmt(interp, stmt: ast.Stmt) -> Code:
+def compile_expr(interp, expr: ast.Expr,
+                 want_mcase: bool = False) -> Code:
+    """Compile a standalone expression (field initializers; no local
+    scope)."""
+    return _compile_expr(interp, expr, _CompileScope(), want_mcase)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+
+
+def _compile_block(interp, block: ast.Block, scope: _CompileScope) -> Code:
+    scope.push()
+    try:
+        stmts = [_compile_stmt(interp, stmt, scope)
+                 for stmt in block.stmts]
+    finally:
+        scope.pop()
+    n = len(stmts)
+    charge = interp._charge
+    if n == 0:
+        def run(frame):
+            pass
+    elif n == 1:
+        stmt0 = stmts[0]
+
+        def run(frame):
+            charge(1)
+            stmt0(frame)
+    else:
+        def run(frame):
+            charge(n)
+            for stmt in stmts:
+                stmt(frame)
+    return run
+
+
+def _compile_stmt(interp, stmt: ast.Stmt, scope: _CompileScope) -> Code:
     from repro.lang.interp import _ReturnSignal
 
-    tick = interp._tick
-    if isinstance(stmt, ast.Block):
-        return _compile_block(interp, stmt)
+    cls = stmt.__class__
+    if cls is ast.Block:
+        return _compile_block(interp, stmt, scope)
 
-    if isinstance(stmt, ast.LocalVarDecl):
-        name = stmt.name
+    if cls is ast.LocalVarDecl:
         wants = isinstance(getattr(stmt, "resolved_type", None),
                            ty.MCaseType)
+        # The initializer is compiled *before* the name is declared: the
+        # typechecker scopes `int x = x;` the same way.
         if stmt.init is not None:
-            init = compile_expr(interp, stmt.init, want_mcase=wants)
+            init = _compile_expr(interp, stmt.init, scope, wants)
+            slot = scope.declare(stmt.name)
 
             def run(frame):
-                tick()
-                frame.declare(name, init(frame))
+                frame.slots[slot] = init(frame)
         else:
             default = interp._default_value(
                 getattr(stmt, "resolved_type", ty.NULL))
+            slot = scope.declare(stmt.name)
 
             def run(frame):
-                tick()
-                frame.declare(name, default)
+                frame.slots[slot] = default
         return run
 
-    if isinstance(stmt, ast.Assign):
-        wants = bool(getattr(stmt, "wants_mcase", False))
-        value_code = compile_expr(interp, stmt.value, want_mcase=wants)
+    if cls is ast.Assign:
+        wants = stmt.wants_mcase
+        value_code = _compile_expr(interp, stmt.value, scope, wants)
         target = stmt.target
         if isinstance(target, ast.Var):
             name = target.name
+            slot = scope.lookup(name)
+            if slot is not None:
+                def run(frame):
+                    frame.slots[slot] = value_code(frame)
+                return run
 
+            # Not a visible local: a field of `this` (or an error).
             def run(frame):
-                tick()
                 value = value_code(frame)
-                if frame.assign(name, value):
-                    return
-                if frame.this_obj is not None and \
-                        name in frame.this_obj.fields:
-                    frame.this_obj.set_field(name, value)
+                this_obj = frame.this_obj
+                if this_obj is not None and name in this_obj.fields:
+                    this_obj.set_field(name, value)
                     return
                 raise StuckError(f"unknown variable {name!r}")
             return run
         assert isinstance(target, ast.FieldAccess)
-        obj_code = compile_expr(interp, target.obj)
+        obj_code = _compile_expr(interp, target.obj, scope, False)
         field_name = target.name
 
         def run(frame):
-            tick()
+            # Value before receiver, matching the tree walk.
+            value = value_code(frame)
             obj = obj_code(frame)
             if not isinstance(obj, ObjectV):
                 raise StuckError(f"cannot assign field of {obj!r}")
-            obj.set_field(field_name, value_code(frame))
+            obj.set_field(field_name, value)
         return run
 
-    if isinstance(stmt, ast.ExprStmt):
-        expr_code = compile_expr(interp, stmt.expr)
+    if cls is ast.ExprStmt:
+        return _compile_expr(interp, stmt.expr, scope, False)
 
-        def run(frame):
-            tick()
-            expr_code(frame)
-        return run
-
-    if isinstance(stmt, ast.If):
-        cond = compile_expr(interp, stmt.cond)
-        then = _compile_stmt(interp, stmt.then)
+    if cls is ast.If:
+        cond = _compile_expr(interp, stmt.cond, scope, False)
+        then = _compile_stmt(interp, stmt.then, scope)
         otherwise = (None if stmt.otherwise is None
-                     else _compile_stmt(interp, stmt.otherwise))
+                     else _compile_stmt(interp, stmt.otherwise, scope))
         truth = interp._truth
-
-        def run(frame):
-            tick()
-            if truth(cond(frame)):
-                then(frame)
-            elif otherwise is not None:
-                otherwise(frame)
+        if otherwise is None:
+            def run(frame):
+                if truth(cond(frame)):
+                    then(frame)
+        else:
+            def run(frame):
+                if truth(cond(frame)):
+                    then(frame)
+                else:
+                    otherwise(frame)
         return run
 
-    if isinstance(stmt, ast.While):
-        cond = compile_expr(interp, stmt.cond)
-        body = _compile_stmt(interp, stmt.body)
+    if cls is ast.While:
+        cond = _compile_expr(interp, stmt.cond, scope, False)
+        body = _compile_stmt(interp, stmt.body, scope)
         truth = interp._truth
+        charge = interp._charge
 
         def run(frame):
-            tick()
-            while truth(cond(frame)):
+            while True:
+                # Charged per iteration so even an empty loop body
+                # consumes fuel (the divergence bound).
+                charge(1)
+                if not truth(cond(frame)):
+                    break
                 try:
                     body(frame)
                 except _Break:
@@ -172,82 +257,76 @@ def _compile_stmt(interp, stmt: ast.Stmt) -> Code:
                     continue
         return run
 
-    if isinstance(stmt, ast.Foreach):
-        iterable = compile_expr(interp, stmt.iterable)
-        body = _compile_stmt(interp, stmt.body)
-        var_name = stmt.var_name
+    if cls is ast.Foreach:
+        iterable = _compile_expr(interp, stmt.iterable, scope, False)
+        scope.push()
+        var_slot = scope.declare(stmt.var_name)
+        body = _compile_stmt(interp, stmt.body, scope)
+        scope.pop()
+        charge = interp._charge
 
         def run(frame):
-            tick()
             values = iterable(frame)
             if not isinstance(values, list):
                 raise StuckError("foreach requires a List")
+            slots = frame.slots
             for element in list(values):
-                frame.push()
+                charge(1)
+                slots[var_slot] = element
                 try:
-                    frame.declare(var_name, element)
                     body(frame)
                 except _Break:
-                    frame.pop()
                     break
                 except _Continue:
-                    frame.pop()
                     continue
-                else:
-                    frame.pop()
         return run
 
-    if isinstance(stmt, ast.Return):
+    if cls is ast.Return:
         if stmt.expr is None:
             def run(frame):
-                tick()
                 raise _ReturnSignal(None)
         else:
-            expr_code = compile_expr(interp, stmt.expr)
+            expr_code = _compile_expr(interp, stmt.expr, scope, False)
 
             def run(frame):
-                tick()
                 raise _ReturnSignal(expr_code(frame))
         return run
 
-    if isinstance(stmt, ast.Break):
+    if cls is ast.Break:
         def run(frame):
-            tick()
             raise _Break()
         return run
 
-    if isinstance(stmt, ast.Continue):
+    if cls is ast.Continue:
         def run(frame):
-            tick()
             raise _Continue()
         return run
 
-    if isinstance(stmt, ast.TryCatch):
-        body = _compile_stmt(interp, stmt.body)
-        handler = _compile_stmt(interp, stmt.handler)
-        exc_var = stmt.exc_var
+    if cls is ast.TryCatch:
+        body = _compile_stmt(interp, stmt.body, scope)
+        scope.push()
+        exc_slot = scope.declare(stmt.exc_var)
+        handler = _compile_stmt(interp, stmt.handler, scope)
+        scope.pop()
 
         def run(frame):
-            tick()
             try:
                 body(frame)
             except EnergyException as exc:
-                frame.push()
-                try:
-                    frame.declare(exc_var, str(exc))
-                    handler(frame)
-                finally:
-                    frame.pop()
+                frame.slots[exc_slot] = str(exc)
+                handler(frame)
         return run
 
-    if isinstance(stmt, ast.Throw):
-        expr_code = compile_expr(interp, stmt.expr)
+    if cls is ast.Throw:
+        expr_code = _compile_expr(interp, stmt.expr, scope, False)
         render = interp.render
 
         def run(frame):
-            tick()
+            message = render(expr_code(frame))
             interp.stats.energy_exceptions += 1
-            raise EnergyException(render(expr_code(frame)))
+            if interp.tracer.enabled:
+                interp.tracer.energy_exception(message, source="interp")
+            raise EnergyException(message)
         return run
 
     raise StuckError(  # pragma: no cover
@@ -257,92 +336,73 @@ def _compile_stmt(interp, stmt: ast.Stmt) -> Code:
 # ---------------------------------------------------------------------------
 # Expressions
 
+#: Node classes whose values can never be an un-eliminated MCaseV, so
+#: the elimination wrapper is dropped at compile time.
+_NEVER_MCASE = frozenset({
+    ast.IntLit, ast.FloatLit, ast.StringLit, ast.BoolLit, ast.NullLit,
+    ast.This, ast.New, ast.Snapshot, ast.Binary, ast.Unary, ast.ListLit,
+    ast.InstanceOf,
+})
 
-def compile_expr(interp, expr: ast.Expr,
-                 want_mcase: bool = False) -> Code:
-    """Compile one expression.
 
-    Unlike the tree walk, compiled code charges fuel per *statement*
-    rather than per expression node — still a divergence bound (every
-    loop body and method body is made of statements), at a fraction of
-    the bookkeeping cost.
-    """
-    raw = _compile_expr_raw(interp, expr)
-    if want_mcase:
+def _compile_expr(interp, expr: ast.Expr, scope: _CompileScope,
+                  want_mcase: bool = False) -> Code:
+    cls = expr.__class__
+    if cls is ast.Var:
+        return _compile_var(interp, expr, scope, want_mcase)
+    if cls is ast.FieldAccess:
+        return _compile_field_access(interp, expr, scope, want_mcase)
+    raw = _compile_expr_raw(interp, expr, scope)
+    if want_mcase or cls in _NEVER_MCASE:
         return raw
-
-    eliminate = interp._eliminate
+    elim = interp._elim_with_mode
 
     def run(frame):
         value = raw(frame)
         if isinstance(value, MCaseV):
-            return eliminate(value, expr, frame)
+            return elim(value, frame.current_mode)
         return value
 
     return run
 
 
-def _compile_expr_raw(interp, expr: ast.Expr) -> Code:
-    if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.StringLit,
-                         ast.BoolLit)):
+def _compile_expr_raw(interp, expr: ast.Expr,
+                      scope: _CompileScope) -> Code:
+    cls = expr.__class__
+    if cls in (ast.IntLit, ast.FloatLit, ast.StringLit, ast.BoolLit):
         value = expr.value
         return lambda frame: value
-    if isinstance(expr, ast.NullLit):
+    if cls is ast.NullLit:
         return lambda frame: None
-    if isinstance(expr, ast.This):
+    if cls is ast.This:
         return lambda frame: frame.this_obj
 
-    if isinstance(expr, ast.Var):
-        return _compile_var(interp, expr)
+    if cls is ast.MethodCall:
+        return _compile_call(interp, expr, scope)
 
-    if isinstance(expr, ast.FieldAccess):
-        obj_code = compile_expr(interp, expr.obj)
-        name = expr.name
+    if cls is ast.New:
+        return _compile_new(interp, expr, scope)
 
-        def run(frame):
-            obj = obj_code(frame)
-            if isinstance(obj, ObjectV):
-                value = obj.get_field(name)
-                if isinstance(value, MCaseV):
-                    expr._owner_mode = obj.effective_mode
-                return value
-            raise StuckError(f"cannot access field {name!r} of {obj!r}")
-        return run
+    if cls is ast.Cast:
+        inner = _compile_expr(interp, expr.expr, scope, False)
+        target = getattr(expr, "resolved_target", None)
+        if target is None:
+            def run(frame):
+                inner(frame)
+                raise StuckError("cast was not typechecked")
+            return run
+        cast_value = interp._cast_value
+        return lambda frame: cast_value(inner(frame), target, frame)
 
-    if isinstance(expr, ast.MethodCall):
-        return _compile_call(interp, expr)
+    if cls is ast.Snapshot:
+        inner = _compile_expr(interp, expr.expr, scope, False)
+        bounds = getattr(expr, "resolved_bounds", None) or (BOTTOM, TOP)
+        snapshot_value = interp._snapshot_value
+        return lambda frame: snapshot_value(inner(frame), bounds, frame)
 
-    if isinstance(expr, ast.New):
-        return _compile_new(interp, expr)
-
-    if isinstance(expr, ast.Cast):
-        inner = compile_expr(interp, expr.expr)
-        # Reuse the interpreter's cast logic through a tiny shim node.
-        def run(frame):
-            shim = ast.Cast(target=expr.target,
-                            expr=_Precomputed(inner(frame)),
-                            span=expr.span)
-            shim.resolved_target = getattr(expr, "resolved_target", None)
-            return interp._eval_cast(shim, frame)
-        return run
-
-    if isinstance(expr, ast.Snapshot):
-        inner = compile_expr(interp, expr.expr)
-
-        def run(frame):
-            shim = ast.Snapshot(expr=_Precomputed(inner(frame)),
-                                lower=expr.lower, upper=expr.upper,
-                                span=expr.span)
-            shim.resolved_bounds = getattr(expr, "resolved_bounds",
-                                           None) or \
-                (interp.lattice.require(Mode("$bottom")),
-                 interp.lattice.require(Mode("$top")))
-            return interp._eval_snapshot(shim, frame)
-        return run
-
-    if isinstance(expr, ast.MCaseExpr):
+    if cls is ast.MCaseExpr:
         compiled = [(None if b.mode_name is None else Mode(b.mode_name),
-                     compile_expr(interp, b.expr))
+                     _compile_expr(interp, b.expr, scope, False))
                     for b in expr.branches]
 
         def run(frame):
@@ -359,47 +419,35 @@ def _compile_expr_raw(interp, expr: ast.Expr) -> Code:
             return MCaseV(branches, default)
         return run
 
-    if isinstance(expr, ast.MSelect):
-        inner = compile_expr(interp, expr.expr, want_mcase=True)
+    if cls is ast.MSelect:
+        inner = _compile_expr(interp, expr.expr, scope, True)
         atom = getattr(expr, "resolved_mode", expr.mode_name)
+        mselect_value = interp._mselect_value
+        return lambda frame: mselect_value(inner(frame), atom, frame)
 
-        def run(frame):
-            value = inner(frame)
-            if not isinstance(value, MCaseV):
-                raise StuckError(f"mselect on non-mcase {value!r}")
-            mode = interp._resolve_atom(atom, frame)
-            interp.stats.mcase_elims += 1
-            if interp.tracer.enabled:
-                from repro.obs.events import MCaseElimEvent, mode_name
-                interp.tracer.emit(MCaseElimEvent(
-                    ts=interp.tracer.now(), mode=mode_name(mode),
-                    source="interp"))
-            return value.select(mode)
-        return run
+    if cls is ast.Binary:
+        return _compile_binary(interp, expr, scope)
 
-    if isinstance(expr, ast.Binary):
-        return _compile_binary(interp, expr)
-
-    if isinstance(expr, ast.Unary):
-        inner = compile_expr(interp, expr.expr)
+    if cls is ast.Unary:
+        inner = _compile_expr(interp, expr.expr, scope, False)
         if expr.op == "-":
-            is_number = interp._is_number
-
             def run(frame):
                 value = inner(frame)
-                if is_number(value):
+                t = type(value)
+                if t is int or t is float:
                     return -value
                 raise StuckError(f"cannot negate {value!r}")
             return run
         truth = interp._truth
         return lambda frame: not truth(inner(frame))
 
-    if isinstance(expr, ast.ListLit):
-        elements = [compile_expr(interp, e) for e in expr.elements]
+    if cls is ast.ListLit:
+        elements = [_compile_expr(interp, e, scope, False)
+                    for e in expr.elements]
         return lambda frame: [code(frame) for code in elements]
 
-    if isinstance(expr, ast.InstanceOf):
-        inner = compile_expr(interp, expr.expr)
+    if cls is ast.InstanceOf:
+        inner = _compile_expr(interp, expr.expr, scope, False)
         class_name = expr.class_name
         is_subclass = interp.table.is_subclass
 
@@ -413,79 +461,136 @@ def _compile_expr_raw(interp, expr: ast.Expr) -> Code:
         f"cannot compile expression {type(expr).__name__}")
 
 
-class _Precomputed(ast.Expr):
-    """An already-evaluated operand handed to interpreter helpers."""
+def _compile_var(interp, expr: ast.Var, scope: _CompileScope,
+                 want_mcase: bool) -> Code:
+    name = expr.name
+    slot = scope.lookup(name)
+    if slot is not None:
+        if want_mcase:
+            return lambda frame: frame.slots[slot]
+        elim = interp._elim_with_mode
 
-    def __init__(self, value: object) -> None:
-        super().__init__()
-        self.value = value
+        def run(frame):
+            value = frame.slots[slot]
+            if type(value) is MCaseV:
+                return elim(value, frame.current_mode)
+            return value
+        return run
+
+    kind = expr.resolved_kind
+    if kind == "field":
+        if want_mcase:
+            def run(frame):
+                try:
+                    return frame.this_obj.fields[name]
+                except (AttributeError, KeyError):
+                    raise StuckError(
+                        f"unknown variable {name!r}") from None
+            return run
+        elim = interp._elim_with_mode
+
+        def run(frame):
+            try:
+                value = frame.this_obj.fields[name]
+            except (AttributeError, KeyError):
+                raise StuckError(f"unknown variable {name!r}") from None
+            if type(value) is MCaseV:
+                mode = frame.this_obj.effective_mode
+                return elim(value,
+                            mode if mode is not None
+                            else frame.current_mode)
+            return value
+        return run
+    if kind == "mode":
+        mode = interp._mode_by_name.get(name)
+        if mode is not None:
+            return lambda frame: mode
+    elif kind == "native":
+        from repro.lang.interp import _NativeRef
+        return lambda frame: _NativeRef(name)
+    return _compile_var_dynamic(interp, name, want_mcase)
 
 
-# Teach the interpreter to evaluate the shim leaf.
-def _install_precomputed_support() -> None:
-    from repro.lang import interp as interp_module
-
-    original = interp_module.Interpreter._eval_raw
-
-    def eval_raw(self, expr, frame, want_mcase):
-        if isinstance(expr, _Precomputed):
-            return expr.value
-        return original(self, expr, frame, want_mcase)
-
-    if getattr(interp_module.Interpreter, "_precomputed_patched",
-               False):  # pragma: no cover
-        return
-    interp_module.Interpreter._eval_raw = eval_raw
-    interp_module.Interpreter._precomputed_patched = True
-
-
-_install_precomputed_support()
-
-
-def _compile_var(interp, expr: ast.Var) -> Code:
+def _compile_var_dynamic(interp, name: str, want_mcase: bool) -> Code:
+    """Dynamic fallback mirroring the walk's resolution order: locals,
+    this-fields, mode constants, native classes."""
     from repro.lang.interp import _NativeRef
 
-    name = expr.name
-    lattice = interp.lattice
+    mode_by_name = interp._mode_by_name
+    elim = interp._elim_with_mode
 
     def run(frame):
         found, value = frame.lookup(name)
-        if found:
-            return value
-        this_obj = frame.this_obj
-        if this_obj is not None and name in this_obj.fields:
-            value = this_obj.fields[name]
-            if isinstance(value, MCaseV):
-                expr._owner_mode = this_obj.effective_mode
-            return value
-        try:
-            mode = Mode(name)
-        except Exception:
-            mode = None
-        if mode is not None and mode in lattice:
-            return mode
-        if name in NATIVE_STATIC_CLASSES:
-            return _NativeRef(name)
-        raise StuckError(f"unknown variable {name!r}")
+        if not found:
+            this_obj = frame.this_obj
+            if this_obj is not None and name in this_obj.fields:
+                value = this_obj.fields[name]
+                if isinstance(value, MCaseV) and not want_mcase:
+                    mode = this_obj.effective_mode
+                    return elim(value,
+                                mode if mode is not None
+                                else frame.current_mode)
+                return value
+            mode = mode_by_name.get(name)
+            if mode is not None:
+                return mode
+            if name in NATIVE_STATIC_CLASSES:
+                return _NativeRef(name)
+            raise StuckError(f"unknown variable {name!r}")
+        if isinstance(value, MCaseV) and not want_mcase:
+            return elim(value, frame.current_mode)
+        return value
 
     return run
 
 
-def _compile_call(interp, expr: ast.MethodCall) -> Code:
+def _compile_field_access(interp, expr: ast.FieldAccess,
+                          scope: _CompileScope,
+                          want_mcase: bool) -> Code:
+    obj_code = _compile_expr(interp, expr.obj, scope, False)
+    name = expr.name
+    elim = interp._elim_with_mode
+
+    def run(frame):
+        obj = obj_code(frame)
+        if isinstance(obj, ObjectV):
+            value = obj.get_field(name)
+            if isinstance(value, MCaseV) and not want_mcase:
+                # Elimination projects on the mode of the enclosing
+                # object, not the current closure mode.
+                mode = obj.effective_mode
+                return elim(value,
+                            mode if mode is not None
+                            else frame.current_mode)
+            return value
+        raise StuckError(f"cannot access field {name!r} of {obj!r}")
+
+    return run
+
+
+def _compile_call(interp, expr: ast.MethodCall,
+                  scope: _CompileScope) -> Code:
     from repro.lang.interp import _NativeRef
 
     name = expr.name
     # Two variants per argument: eliminating (the default) and raw (for
-    # mcase-typed parameters); selected per resolved method at run time.
-    arg_codes = [compile_expr(interp, a) for a in expr.args]
-    arg_codes_raw = [compile_expr(interp, a, want_mcase=True)
-                     for a in expr.args]
+    # mcase-typed parameters); the inline cache stores the selection.
+    arg_codes = tuple(_compile_expr(interp, a, scope, False)
+                      for a in expr.args)
+    arg_codes_raw = tuple(_compile_expr(interp, a, scope, True)
+                          for a in expr.args)
     receiver_code = (None if expr.receiver is None
-                     else compile_expr(interp, expr.receiver))
+                     else _compile_expr(interp, expr.receiver, scope,
+                                        False))
     receiver_is_this = isinstance(expr.receiver, ast.This)
     find_method = interp._find_method
     invoke = interp._invoke
     span = expr.span
+    inline = interp.options.inline_caches
+    #: Polymorphic inline cache: receiver class name -> (MethodInfo,
+    #: selected argument codes).  Class infos are immutable for the
+    #: lifetime of a run, so entries never need invalidation.
+    ic: Dict[str, tuple] = {}
 
     def run(frame):
         if receiver_code is None:
@@ -495,17 +600,23 @@ def _compile_call(interp, expr: ast.MethodCall) -> Code:
             receiver = receiver_code(frame)
             self_call = receiver_is_this or receiver is frame.this_obj
         if isinstance(receiver, ObjectV):
-            minfo = find_method(receiver.class_info, name)
-            if minfo is None:
-                raise StuckError(
-                    f"no method {name!r} on "
-                    f"{receiver.class_info.name}")
-            args = []
-            for index, ptype in enumerate(minfo.param_types):
-                if isinstance(ptype, ty.MCaseType):
-                    args.append(arg_codes_raw[index](frame))
-                else:
-                    args.append(arg_codes[index](frame))
+            entry = ic.get(receiver.class_info.name)
+            if entry is None:
+                minfo = find_method(receiver.class_info, name)
+                if minfo is None:
+                    raise StuckError(
+                        f"no method {name!r} on class "
+                        f"{receiver.class_info.name}")
+                codes = tuple(
+                    raw if isinstance(ptype, ty.MCaseType) else std
+                    for (std, raw), ptype in zip(
+                        zip(arg_codes, arg_codes_raw),
+                        minfo.param_types))
+                entry = (minfo, codes)
+                if inline:
+                    ic[receiver.class_info.name] = entry
+            minfo, codes = entry
+            args = [code(frame) for code in codes]
             return invoke(receiver, minfo, args, frame,
                           self_call=self_call, span=span)
         args = [code(frame) for code in arg_codes]
@@ -522,7 +633,7 @@ def _compile_call(interp, expr: ast.MethodCall) -> Code:
     return run
 
 
-def _compile_new(interp, expr: ast.New) -> Code:
+def _compile_new(interp, expr: ast.New, scope: _CompileScope) -> Code:
     resolved = getattr(expr, "resolved_type", None)
     if resolved == ty.LIST:
         return lambda frame: []
@@ -530,7 +641,8 @@ def _compile_new(interp, expr: ast.New) -> Code:
         raise StuckError("new-expression was not typechecked")
     info = interp.table.get(resolved.class_name)
     mode_args = resolved.mode_args
-    arg_codes = [compile_expr(interp, a) for a in expr.args]
+    arg_codes = [_compile_expr(interp, a, scope, False)
+                 for a in expr.args]
     construct = interp._construct
     span = expr.span
 
@@ -541,58 +653,45 @@ def _compile_new(interp, expr: ast.New) -> Code:
     return run
 
 
-_NUMERIC_OPS = {
-    "+": lambda a, b: a + b,
-    "-": lambda a, b: a - b,
-    "*": lambda a, b: a * b,
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
-}
+def _compile_binary(interp, expr: ast.Binary,
+                    scope: _CompileScope) -> Code:
+    from repro.lang.interp import _ARITH
 
-
-def _compile_binary(interp, expr: ast.Binary) -> Code:
     op = expr.op
     truth = interp._truth
     if op == "&&":
-        left = compile_expr(interp, expr.left)
-        right = compile_expr(interp, expr.right)
+        left = _compile_expr(interp, expr.left, scope, False)
+        right = _compile_expr(interp, expr.right, scope, False)
         return lambda frame: (truth(left(frame))
                               and truth(right(frame)))
     if op == "||":
-        left = compile_expr(interp, expr.left)
-        right = compile_expr(interp, expr.right)
+        left = _compile_expr(interp, expr.left, scope, False)
+        right = _compile_expr(interp, expr.right, scope, False)
         return lambda frame: (truth(left(frame))
                               or truth(right(frame)))
-    left = compile_expr(interp, expr.left)
-    right = compile_expr(interp, expr.right)
+    left = _compile_expr(interp, expr.left, scope, False)
+    right = _compile_expr(interp, expr.right, scope, False)
     if op in ("==", "!="):
         equal = interp.values_equal
         if op == "==":
             return lambda frame: equal(left(frame), right(frame))
         return lambda frame: not equal(left(frame), right(frame))
 
-    # Route the remaining operators through the interpreter's checked
-    # implementation via a shim, preserving exact semantics (string
-    # concatenation, truncating division, error messages).
-    def run(frame):
-        shim = ast.Binary(op=op, left=_Precomputed(left(frame)),
-                          right=_Precomputed(right(frame)),
-                          span=expr.span)
-        return interp._eval_binary(shim, frame)
-
-    if op in _NUMERIC_OPS:
-        fast = _NUMERIC_OPS[op]
-        is_number = interp._is_number
-
+    binary_op = interp._binary_op
+    fast = _ARITH.get(op)
+    if fast is not None:
+        # Fast path when both operands are genuine numbers (type checks
+        # exclude bool, a subclass of int); anything else falls back to
+        # the interpreter's checked implementation, preserving string
+        # concatenation and the exact error messages.
         def run_fast(frame):
             a = left(frame)
             b = right(frame)
-            if is_number(a) and is_number(b):
-                return fast(a, b)
-            shim = ast.Binary(op=op, left=_Precomputed(a),
-                              right=_Precomputed(b), span=expr.span)
-            return interp._eval_binary(shim, frame)
+            t = type(a)
+            if t is int or t is float:
+                t = type(b)
+                if t is int or t is float:
+                    return fast(a, b)
+            return binary_op(op, a, b)
         return run_fast
-    return run
+    return lambda frame: binary_op(op, left(frame), right(frame))

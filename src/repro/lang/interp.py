@@ -25,6 +25,23 @@ Run-time configurations used by the evaluation harness:
 * ``baseline=True`` — the Figure-6 overhead baseline: no copy/tag
   bookkeeping and no bound checks; attributors still run so program
   behaviour is preserved.
+
+Hot-path engineering (all behaviour-transparent; see
+``docs/PERFORMANCE.md``):
+
+* statement/expression dispatch is a type-keyed table rather than an
+  ``isinstance`` ladder;
+* variable reads branch on the typechecker's ``resolved_kind``
+  annotation instead of re-discovering what a name means on every
+  evaluation;
+* method/attributor lookup, object-construction environments and the
+  dfall guard are memoized behind ``InterpOptions.inline_caches`` — a
+  toggle whose only purpose is letting the transparency test suite
+  assert that outputs, stats and exceptions are identical either way;
+* mode-case elimination threads the owning object's mode through the
+  interpreter (``_elim_owner``) instead of stashing it on the shared
+  AST node, so concurrent interpreters over one ``CheckedProgram``
+  cannot interfere and re-entrant runs stay deterministic.
 """
 
 from __future__ import annotations
@@ -32,7 +49,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from dataclasses import fields as field_list
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import (BadCastError, EnergyException,
                                EntRuntimeError, FuelExhausted, StuckError)
@@ -102,6 +119,12 @@ class InterpOptions:
     #: Closure-compile bodies on first execution (see
     #: :mod:`repro.lang.compiler`); semantics are identical.
     compile: bool = False
+    #: Enable the run-time caches (flattened method tables, construction
+    #: templates, per-call-site inline caches, the dfall memo).
+    #: Semantics are identical with the flag off; it exists so the
+    #: transparency tests can compare cached and uncached runs
+    #: bit-for-bit.
+    inline_caches: bool = True
 
 
 @dataclass
@@ -150,12 +173,27 @@ class _ReturnSignal(Exception):
         self.value = value
 
 
-@dataclass
 class _Frame:
-    this_obj: Optional[ObjectV]
-    mode_env: Dict[str, Optional[Mode]]
-    current_mode: Optional[Mode]
-    locals: List[Dict[str, object]] = field(default_factory=list)
+    """One activation record.  A ``__slots__`` class (not a dataclass):
+    the interpreter creates one per message send.
+
+    The tree walk keeps a scope chain of dicts in ``locals``; the
+    compiled engine stores slot-resolved locals in ``slots``.
+    """
+
+    __slots__ = ("this_obj", "mode_env", "current_mode", "locals",
+                 "slots")
+
+    def __init__(self, this_obj: Optional[ObjectV],
+                 mode_env: Dict[str, Optional[Mode]],
+                 current_mode: Optional[Mode],
+                 locals: Optional[List[Dict[str, object]]] = None,
+                 slots: Optional[List[object]] = None) -> None:
+        self.this_obj = this_obj
+        self.mode_env = mode_env
+        self.current_mode = current_mode
+        self.locals = [] if locals is None else locals
+        self.slots = slots
 
     def push(self) -> None:
         self.locals.append({})
@@ -178,6 +216,37 @@ class _Frame:
                 frame[name] = value
                 return True
         return False
+
+
+def _java_div(a, b):
+    if b == 0:
+        raise EntRuntimeError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        return int(a / b)  # Java truncating division
+    return a / b
+
+
+def _java_mod(a, b):
+    if b == 0:
+        raise EntRuntimeError("modulo by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        return a - int(a / b) * b
+    return a % b
+
+
+#: Arithmetic/comparison operators on numeric operands; ``/`` and ``%``
+#: keep Java semantics (truncation toward zero, explicit zero checks).
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _java_div,
+    "%": _java_mod,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
 
 
 class Interpreter:
@@ -204,6 +273,34 @@ class Interpreter:
         self.on_message: Optional[Callable] = None
         #: Called as ``on_snapshot(obj, mode, lower, upper, ok)``.
         self.on_snapshot: Optional[Callable] = None
+        # ---- run-time caches (see docs/PERFORMANCE.md) ----------------
+        #: Mode constants by name — static lattice data, always on.
+        self._mode_by_name: Dict[str, Mode] = {
+            m.name: m for m in self.lattice.modes}
+        #: class name -> flattened {method name -> MethodInfo}.
+        self._method_tables: Dict[str, Dict[str, MethodInfo]] = {}
+        #: class name -> nearest AttributorDecl (or None).
+        self._attributor_cache: Dict[str, Optional[ast.AttributorDecl]] = {}
+        #: (class name, own-env items) -> full mode-env template.
+        self._env_templates: Dict[tuple, Dict[str, Optional[Mode]]] = {}
+        #: class name -> (field defaults, ((name, init, wants_mcase),…)).
+        self._field_templates: Dict[str, tuple] = {}
+        #: (receiver mode, sender mode) -> waterfall-invariant verdict.
+        self._dfall_cache: Dict[Tuple[Mode, Mode], bool] = {}
+        #: id(body block) -> (compiled code, slot count).
+        self._body_cache: Dict[int, tuple] = {}
+        #: (id(expr), want_mcase) -> compiled field-initializer code.
+        self._init_code_cache: Dict[tuple, Callable] = {}
+        #: id(MethodInfo) -> per-parameter wants-mcase tuple (static
+        #: typed data, like ``_mode_by_name``; always on).
+        self._param_wants: Dict[int, tuple] = {}
+        #: Effective mode of the object a just-read mcase field belongs
+        #: to; consumed by ``_eval`` for implicit elimination.
+        self._elim_owner: Optional[Mode] = None
+        #: Divergence bound and engine selection, fixed at construction
+        #: (one attribute load instead of two on the per-node paths).
+        self._fuel = self.options.fuel
+        self._compile_on = self.options.compile
 
     # ------------------------------------------------------------------
     # Entry point
@@ -239,8 +336,18 @@ class Interpreter:
 
     def _tick(self) -> None:
         self.stats.steps += 1
-        fuel = self.options.fuel
+        fuel = self._fuel
         if fuel is not None and self.stats.steps > fuel:
+            raise FuelExhausted(
+                f"evaluation exceeded {fuel} steps (divergence bound)")
+
+    def _charge(self, count: int) -> None:
+        """Batched fuel accounting for the compiled engine: one check per
+        block entry / loop iteration instead of one per AST node."""
+        steps = self.stats.steps + count
+        self.stats.steps = steps
+        fuel = self._fuel
+        if fuel is not None and steps > fuel:
             raise FuelExhausted(
                 f"evaluation exceeded {fuel} steps (divergence bound)")
 
@@ -286,6 +393,8 @@ class Interpreter:
 
     def _find_method(self, info: ClassInfo,
                      name: str) -> Optional[MethodInfo]:
+        if self.options.inline_caches:
+            return self._method_table(info).get(name)
         current: Optional[ClassInfo] = info
         while current is not None:
             if name in current.methods:
@@ -294,15 +403,39 @@ class Interpreter:
                        if current.superclass else None)
         return None
 
+    def _method_table(self, info: ClassInfo) -> Dict[str, MethodInfo]:
+        """Flattened method table (inherited methods included), built
+        once per class.  Classes are immutable after the typechecker
+        registers them, so no invalidation is needed within a run."""
+        table = self._method_tables.get(info.name)
+        if table is None:
+            if info.superclass:
+                table = dict(
+                    self._method_table(self.table.get(info.superclass)))
+            else:
+                table = {}
+            table.update(info.methods)
+            self._method_tables[info.name] = table
+        return table
+
     def _find_attributor(self,
                          info: ClassInfo) -> Optional[ast.AttributorDecl]:
+        if self.options.inline_caches:
+            try:
+                return self._attributor_cache[info.name]
+            except KeyError:
+                pass
         current: Optional[ClassInfo] = info
+        found: Optional[ast.AttributorDecl] = None
         while current is not None:
             if current.decl is not None and current.decl.attributor:
-                return current.decl.attributor
+                found = current.decl.attributor
+                break
             current = (self.table.get(current.superclass)
                        if current.superclass else None)
-        return None
+        if self.options.inline_caches:
+            self._attributor_cache[info.name] = found
+        return found
 
     def _full_mode_env(self, info: ClassInfo,
                        own: Dict[str, Optional[Mode]]
@@ -345,6 +478,24 @@ class Interpreter:
             return False
         return None
 
+    def _field_template(self, info: ClassInfo) -> tuple:
+        """Per-class field defaults and initializer list, computed once.
+        The defaults dict is copied into each new object (its values are
+        immutable primitives/None); the initializer tuple is read-only."""
+        entry = self._field_templates.get(info.name)
+        if entry is None:
+            defaults: Dict[str, object] = {}
+            inits = []
+            for finfo in self.table.all_fields(info.name):
+                defaults[finfo.name] = self._default_value(finfo.declared)
+                if finfo.decl is not None and finfo.decl.init is not None:
+                    inits.append((finfo.name, finfo.decl.init,
+                                  isinstance(finfo.declared,
+                                             ty.MCaseType)))
+            entry = (defaults, tuple(inits))
+            self._field_templates[info.name] = entry
+        return entry
+
     def _construct(self, info: ClassInfo, atoms, arg_values: List[object],
                    frame: _Frame, span) -> ObjectV:
         own_env: Dict[str, Optional[Mode]] = {}
@@ -353,20 +504,36 @@ class Interpreter:
                 continue
             own_env[param.var] = (atom if isinstance(atom, Mode)
                                   else self._resolve_atom(atom, frame))
-        env = self._full_mode_env(info, own_env)
+        if self.options.inline_caches:
+            key = (info.name, tuple(own_env.items()))
+            template = self._env_templates.get(key)
+            if template is None:
+                template = self._full_mode_env(info, own_env)
+                self._env_templates[key] = template
+            # Copied per object: snapshot tagging mutates mode_env.
+            env = dict(template)
+        else:
+            env = self._full_mode_env(info, own_env)
         obj = ObjectV(info, env, {})
         self.stats.objects_created += 1
         # Field defaults and initializers, superclass-first.
         init_frame = _Frame(this_obj=obj, mode_env=env,
                             current_mode=frame.current_mode)
         init_frame.push()
-        for finfo in self.table.all_fields(info.name):
-            obj.fields[finfo.name] = self._default_value(finfo.declared)
-        for finfo in self.table.all_fields(info.name):
-            if finfo.decl is not None and finfo.decl.init is not None:
-                wants = isinstance(finfo.declared, ty.MCaseType)
-                obj.fields[finfo.name] = self._execute_expr(
-                    finfo.decl.init, init_frame, want_mcase=wants)
+        if self.options.inline_caches:
+            defaults, inits = self._field_template(info)
+            obj.fields.update(defaults)
+            for fname, init_expr, wants in inits:
+                obj.fields[fname] = self._execute_expr(
+                    init_expr, init_frame, want_mcase=wants)
+        else:
+            for finfo in self.table.all_fields(info.name):
+                obj.fields[finfo.name] = self._default_value(finfo.declared)
+            for finfo in self.table.all_fields(info.name):
+                if finfo.decl is not None and finfo.decl.init is not None:
+                    wants = isinstance(finfo.declared, ty.MCaseType)
+                    obj.fields[finfo.name] = self._execute_expr(
+                        finfo.decl.init, init_frame, want_mcase=wants)
         # Constructor body.
         ctor = info.decl.constructor if info.decl is not None else None
         if ctor is None:
@@ -376,11 +543,16 @@ class Interpreter:
         else:
             ctor_frame = _Frame(this_obj=obj, mode_env=env,
                                 current_mode=frame.current_mode)
-            ctor_frame.push()
-            for param, value in zip(ctor.params, arg_values):
-                ctor_frame.declare(param.name, value)
             try:
-                self._execute_block(ctor.body, ctor_frame)
+                if self.options.compile:
+                    self._run_compiled_body(
+                        ctor.body, [p.name for p in ctor.params],
+                        ctor_frame, arg_values)
+                else:
+                    ctor_frame.push()
+                    for param, value in zip(ctor.params, arg_values):
+                        ctor_frame.declare(param.name, value)
+                    self._exec_block(ctor.body, ctor_frame)
             except _ReturnSignal:
                 pass
         return obj
@@ -395,7 +567,6 @@ class Interpreter:
         # The receiver's mode environment is only copied when a method-
         # level binding extends it; bodies never mutate it.
         mode_env = receiver.mode_env
-        binding_var: Optional[str] = None
         guard: Optional[Mode]
         closure: Optional[Mode]
         if minfo.mode_param is not None:
@@ -406,11 +577,9 @@ class Interpreter:
             elif minfo.has_attributor:
                 mode = self._eval_method_attributor(receiver, minfo, args)
                 guard = closure = mode
-                binding_var = mp.var
                 mode_env[mp.var] = mode
             else:
                 assert mp.var is not None
-                binding_var = mp.var
                 inferred = self._infer_runtime_mode(minfo, args)
                 mode_env[mp.var] = inferred
                 guard = inferred
@@ -433,16 +602,17 @@ class Interpreter:
         if traced:
             self.tracer.mode_transition("closure", frame.current_mode,
                                         closure)
-        body_frame = _Frame(this_obj=receiver, mode_env=mode_env,
-                            current_mode=closure)
-        body_frame.push()
-        for name, value in zip(minfo.param_names, args):
-            body_frame.declare(name, value)
-        if binding_var is not None:
-            pass  # already in mode_env; nothing else to bind
+        body_frame = _Frame(receiver, mode_env, closure)
         assert minfo.decl is not None
         try:
-            self._execute_block(minfo.decl.body, body_frame)
+            if self._compile_on:
+                self._run_compiled_body(minfo.decl.body,
+                                        minfo.param_names, body_frame,
+                                        args)
+            else:
+                body_frame.locals.append(
+                    dict(zip(minfo.param_names, args)))
+                self._exec_block(minfo.decl.body, body_frame)
         except _ReturnSignal as signal:
             return signal.value
         finally:
@@ -450,6 +620,25 @@ class Interpreter:
                 self.tracer.mode_transition("closure", closure,
                                             frame.current_mode)
         return None
+
+    def _run_compiled_body(self, block: ast.Block, param_names,
+                           frame: _Frame, args) -> None:
+        """Execute a body through the closure compiler with a
+        slot-resolved frame (parameters occupy slots ``0..n-1``)."""
+        entry = self._body_cache.get(id(block))
+        if entry is None:
+            from repro.lang.compiler import compile_body
+            entry = compile_body(self, block, param_names)
+            self._body_cache[id(block)] = entry
+        code, n_slots = entry
+        nparams = len(param_names)
+        if len(args) > nparams:
+            args = args[:nparams]
+        slots = list(args)
+        if len(slots) < n_slots:
+            slots.extend([None] * (n_slots - len(slots)))
+        frame.slots = slots
+        code(frame)
 
     def _check_dfall(self, guard: Optional[Mode],
                      sender: Optional[Mode], self_call: bool,
@@ -469,7 +658,14 @@ class Interpreter:
                 f"{receiver!r} (method {minfo.name}); a well-typed "
                 f"program cannot reach this state")
         sender_mode = sender if sender is not None else TOP
-        holds = self.lattice.leq(guard, sender_mode)
+        if self.options.inline_caches:
+            key = (guard, sender_mode)
+            holds = self._dfall_cache.get(key)
+            if holds is None:
+                holds = self.lattice.leq(guard, sender_mode)
+                self._dfall_cache[key] = holds
+        else:
+            holds = self.lattice.leq(guard, sender_mode)
         if self.tracer.enabled:
             self.tracer.emit(DfallCheckEvent(
                 ts=self.tracer.now(), cls=receiver.class_info.name,
@@ -496,16 +692,22 @@ class Interpreter:
         attr_frame = _Frame(this_obj=receiver,
                             mode_env=dict(receiver.mode_env),
                             current_mode=BOTTOM)
-        attr_frame.push()
-        for name, value in zip(minfo.param_names, args):
-            attr_frame.declare(name, value)
         return self._run_attributor_body(minfo.decl.attributor, attr_frame,
-                                         f"{minfo.owner}.{minfo.name}")
+                                         f"{minfo.owner}.{minfo.name}",
+                                         minfo.param_names, args)
 
     def _run_attributor_body(self, attributor: ast.AttributorDecl,
-                             frame: _Frame, what: str) -> Mode:
+                             frame: _Frame, what: str,
+                             param_names=(), args=()) -> Mode:
         try:
-            self._execute_block(attributor.body, frame)
+            if self.options.compile:
+                self._run_compiled_body(attributor.body, param_names,
+                                        frame, args)
+            else:
+                frame.push()
+                for name, value in zip(param_names, args):
+                    frame.declare(name, value)
+                self._exec_block(attributor.body, frame)
         except _ReturnSignal as signal:
             if not isinstance(signal.value, Mode):
                 raise EntRuntimeError(
@@ -533,96 +735,143 @@ class Interpreter:
     # ------------------------------------------------------------------
     # Statements
 
-    def _execute_block(self, block: ast.Block, frame: _Frame) -> None:
-        """Run a body through the selected engine (walk or compiled)."""
-        if self.options.compile:
-            from repro.lang.compiler import compile_block
-            compile_block(self, block)(frame)
-        else:
-            self._exec_block(block, frame)
-
     def _execute_expr(self, expr: ast.Expr, frame: _Frame,
                       want_mcase: bool = False) -> object:
+        """Field-initializer entry point (compiles lazily per expr)."""
         if self.options.compile:
-            from repro.lang.compiler import compile_expr
-            cache = getattr(self, "_compiled_cache", None)
-            if cache is None:
-                cache = self._compiled_cache = {}
             key = (id(expr), want_mcase)
-            code = cache.get(key)
+            code = self._init_code_cache.get(key)
             if code is None:
+                from repro.lang.compiler import compile_expr
                 code = compile_expr(self, expr, want_mcase=want_mcase)
-                cache[key] = code
+                self._init_code_cache[key] = code
             return code(frame)
         return self._eval(expr, frame, want_mcase=want_mcase)
 
     def _exec_block(self, block: ast.Block, frame: _Frame) -> None:
-        frame.push()
+        scopes = frame.locals
+        scopes.append({})
         try:
+            exec_stmt = self._exec_stmt
             for stmt in block.stmts:
-                self._exec_stmt(stmt, frame)
+                exec_stmt(stmt, frame)
         finally:
-            frame.pop()
+            scopes.pop()
 
     def _exec_stmt(self, stmt: ast.Stmt, frame: _Frame) -> None:
-        self._tick()
-        if isinstance(stmt, ast.Block):
-            self._exec_block(stmt, frame)
-        elif isinstance(stmt, ast.LocalVarDecl):
-            wants = isinstance(getattr(stmt, "resolved_type", None),
-                               ty.MCaseType)
-            value = (self._eval(stmt.init, frame, want_mcase=wants)
-                     if stmt.init is not None
-                     else self._default_value(
-                         getattr(stmt, "resolved_type", ty.NULL)))
-            frame.declare(stmt.name, value)
-        elif isinstance(stmt, ast.Assign):
-            self._exec_assign(stmt, frame)
-        elif isinstance(stmt, ast.ExprStmt):
+        stats = self.stats
+        stats.steps += 1
+        fuel = self._fuel
+        if fuel is not None and stats.steps > fuel:
+            raise FuelExhausted(
+                f"evaluation exceeded {fuel} steps (divergence bound)")
+        cls = stmt.__class__
+        if cls is ast.ExprStmt:
             self._eval(stmt.expr, frame)
-        elif isinstance(stmt, ast.If):
-            if self._truth(self._eval(stmt.cond, frame)):
-                self._exec_stmt(stmt.then, frame)
-            elif stmt.otherwise is not None:
-                self._exec_stmt(stmt.otherwise, frame)
-        elif isinstance(stmt, ast.While):
-            while self._truth(self._eval(stmt.cond, frame)):
-                try:
-                    self._exec_stmt(stmt.body, frame)
-                except _BreakSignal:
-                    break
-                except _ContinueSignal:
-                    continue
-        elif isinstance(stmt, ast.Foreach):
-            self._exec_foreach(stmt, frame)
-        elif isinstance(stmt, ast.Return):
-            wants = False
-            value = (self._eval(stmt.expr, frame, want_mcase=wants)
-                     if stmt.expr is not None else None)
-            raise _ReturnSignal(value)
-        elif isinstance(stmt, ast.Break):
-            raise _BreakSignal()
-        elif isinstance(stmt, ast.Continue):
-            raise _ContinueSignal()
-        elif isinstance(stmt, ast.TryCatch):
+            return
+        if cls is ast.Assign:
+            self._exec_assign(stmt, frame)
+            return
+        if cls is ast.Return:
+            raise _ReturnSignal(self._eval_leaf(stmt.expr, frame)
+                                if stmt.expr is not None else None)
+        if cls is ast.Block:
+            self._exec_block(stmt, frame)
+            return
+        try:
+            handler = _STMT_DISPATCH[cls]
+        except KeyError:  # pragma: no cover
+            raise StuckError(
+                f"unknown statement {type(stmt).__name__}") from None
+        handler(self, stmt, frame)
+
+    def _stmt_block(self, stmt: ast.Block, frame: _Frame) -> None:
+        self._exec_block(stmt, frame)
+
+    def _stmt_local(self, stmt: ast.LocalVarDecl, frame: _Frame) -> None:
+        wants = isinstance(getattr(stmt, "resolved_type", None),
+                           ty.MCaseType)
+        value = (self._eval(stmt.init, frame, want_mcase=wants)
+                 if stmt.init is not None
+                 else self._default_value(
+                     getattr(stmt, "resolved_type", ty.NULL)))
+        frame.declare(stmt.name, value)
+
+    def _stmt_expr(self, stmt: ast.ExprStmt, frame: _Frame) -> None:
+        self._eval(stmt.expr, frame)
+
+    def _stmt_if(self, stmt: ast.If, frame: _Frame) -> None:
+        if self._truth(self._eval(stmt.cond, frame)):
+            self._exec_stmt(stmt.then, frame)
+        elif stmt.otherwise is not None:
+            self._exec_stmt(stmt.otherwise, frame)
+
+    def _stmt_while(self, stmt: ast.While, frame: _Frame) -> None:
+        stats = self.stats
+        fuel = self._fuel
+        cond = stmt.cond
+        body = stmt.body
+        cond_is_binary = cond.__class__ is ast.Binary
+        body_is_block = body.__class__ is ast.Block
+        while True:
+            # One guaranteed fuel tick per iteration for the condition,
+            # so even ``while (true) {}`` exhausts deterministically.
+            stats.steps += 1
+            if fuel is not None and stats.steps > fuel:
+                raise FuelExhausted(
+                    f"evaluation exceeded {fuel} steps (divergence bound)")
+            if cond_is_binary:
+                value = self._eval_binary(cond, frame, False)
+            else:
+                value = self._eval_leaf(cond, frame)
+            if value is False:
+                break
+            if value is not True:
+                raise StuckError(f"condition is not a boolean: {value!r}")
             try:
-                self._exec_stmt(stmt.body, frame)
-            except EnergyException as exc:
-                frame.push()
-                try:
-                    frame.declare(stmt.exc_var, str(exc))
-                    self._exec_stmt(stmt.handler, frame)
-                finally:
-                    frame.pop()
-        elif isinstance(stmt, ast.Throw):
-            message = self._eval(stmt.expr, frame)
-            self.stats.energy_exceptions += 1
-            if self.tracer.enabled:
-                self.tracer.energy_exception(self.render(message),
-                                             source="interp")
-            raise EnergyException(self.render(message))
-        else:  # pragma: no cover
-            raise StuckError(f"unknown statement {type(stmt).__name__}")
+                if body_is_block:
+                    stats.steps += 1
+                    if fuel is not None and stats.steps > fuel:
+                        raise FuelExhausted(
+                            f"evaluation exceeded {fuel} steps "
+                            f"(divergence bound)")
+                    self._exec_block(body, frame)
+                else:
+                    self._exec_stmt(body, frame)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+
+    def _stmt_return(self, stmt: ast.Return, frame: _Frame) -> None:
+        value = (self._eval_leaf(stmt.expr, frame)
+                 if stmt.expr is not None else None)
+        raise _ReturnSignal(value)
+
+    def _stmt_break(self, stmt: ast.Break, frame: _Frame) -> None:
+        raise _BreakSignal()
+
+    def _stmt_continue(self, stmt: ast.Continue, frame: _Frame) -> None:
+        raise _ContinueSignal()
+
+    def _stmt_try(self, stmt: ast.TryCatch, frame: _Frame) -> None:
+        try:
+            self._exec_stmt(stmt.body, frame)
+        except EnergyException as exc:
+            frame.push()
+            try:
+                frame.declare(stmt.exc_var, str(exc))
+                self._exec_stmt(stmt.handler, frame)
+            finally:
+                frame.pop()
+
+    def _stmt_throw(self, stmt: ast.Throw, frame: _Frame) -> None:
+        message = self._eval(stmt.expr, frame)
+        self.stats.energy_exceptions += 1
+        if self.tracer.enabled:
+            self.tracer.energy_exception(self.render(message),
+                                         source="interp")
+        raise EnergyException(self.render(message))
 
     def _truth(self, value: object) -> bool:
         if isinstance(value, bool):
@@ -630,17 +879,33 @@ class Interpreter:
         raise StuckError(f"condition is not a boolean: {value!r}")
 
     def _exec_assign(self, stmt: ast.Assign, frame: _Frame) -> None:
-        wants = bool(getattr(stmt, "wants_mcase", False))
-        value = self._eval(stmt.value, frame, want_mcase=wants)
+        if stmt.wants_mcase:
+            value = self._eval(stmt.value, frame, want_mcase=True)
+        else:
+            node = stmt.value
+            value = (self._eval_binary(node, frame, False)
+                     if node.__class__ is ast.Binary
+                     else self._eval_leaf(node, frame))
         target = stmt.target
         if isinstance(target, ast.Var):
-            if frame.assign(target.name, value):
+            name = target.name
+            # ``resolved_kind`` (from the typechecker) skips the scope
+            # walk for field writes; locals shadowing a field resolve as
+            # "local", so the direct store is safe.
+            if target.resolved_kind == "field":
+                this_obj = frame.this_obj
+                if this_obj is not None and name in this_obj.fields:
+                    this_obj.set_field(name, value)
+                    return
+            for scope in reversed(frame.locals):
+                if name in scope:
+                    scope[name] = value
+                    return
+            this_obj = frame.this_obj
+            if this_obj is not None and name in this_obj.fields:
+                this_obj.set_field(name, value)
                 return
-            if frame.this_obj is not None and (
-                    target.name in frame.this_obj.fields):
-                frame.this_obj.set_field(target.name, value)
-                return
-            raise StuckError(f"unknown variable {target.name!r}")
+            raise StuckError(f"unknown variable {name!r}")
         assert isinstance(target, ast.FieldAccess)
         obj = self._eval(target.obj, frame)
         if not isinstance(obj, ObjectV):
@@ -670,135 +935,207 @@ class Interpreter:
 
     def _eval(self, expr: ast.Expr, frame: _Frame,
               want_mcase: bool = False) -> object:
-        self._tick()
-        value = self._eval_raw(expr, frame, want_mcase)
-        if isinstance(value, MCaseV) and not want_mcase:
-            value = self._eliminate(value, expr, frame)
+        stats = self.stats
+        stats.steps += 1
+        fuel = self._fuel
+        if fuel is not None and stats.steps > fuel:
+            raise FuelExhausted(
+                f"evaluation exceeded {fuel} steps (divergence bound)")
+        # The hottest node kinds are tested directly before falling back
+        # to the dispatch table; literals can never be mode cases.
+        cls = expr.__class__
+        if cls is ast.Var:
+            value = self._eval_var(expr, frame, want_mcase)
+        elif cls is ast.IntLit:
+            return expr.value
+        elif cls is ast.Binary:
+            value = self._eval_binary(expr, frame, want_mcase)
+        elif cls is ast.MethodCall:
+            value = self._eval_call(expr, frame, want_mcase)
+        else:
+            try:
+                handler = _EVAL_DISPATCH[cls]
+            except KeyError:  # pragma: no cover
+                raise StuckError(
+                    f"unknown expression {type(expr).__name__}") from None
+            value = handler(self, expr, frame, want_mcase)
+        if value.__class__ is MCaseV:
+            owner = self._elim_owner
+            if owner is not None:
+                self._elim_owner = None
+            if not want_mcase:
+                return self._elim_with_mode(
+                    value,
+                    owner if owner is not None else frame.current_mode)
         return value
 
-    def _eliminate(self, mcase: MCaseV, expr: ast.Expr,
-                   frame: _Frame) -> object:
-        """Implicit mode-case elimination on the enclosing object's mode."""
+    def _eval_leaf(self, expr: ast.Expr, frame: _Frame) -> object:
+        """Operand fast path: literals and resolved variable reads skip
+        the per-node bookkeeping of :meth:`_eval` — the enclosing node
+        already paid a fuel tick, so leaf operands ride for free.
+        Anything more complex falls back to the full evaluator."""
+        cls = expr.__class__
+        if cls is ast.IntLit:
+            return expr.value
+        if cls is ast.Binary:
+            # Binary never evaluates to an mcase (operands eliminate).
+            return self._eval_binary(expr, frame, False)
+        if cls is ast.Var:
+            name = expr.name
+            kind = expr.resolved_kind
+            if kind == "local":
+                for scope in reversed(frame.locals):
+                    if name in scope:
+                        return scope[name]
+            elif kind == "field":
+                this_obj = frame.this_obj
+                if this_obj is not None:
+                    fields = this_obj.fields
+                    if name in fields:
+                        value = fields[name]
+                        if value.__class__ is MCaseV:
+                            owner = this_obj.effective_mode
+                            return self._elim_with_mode(
+                                value,
+                                owner if owner is not None
+                                else frame.current_mode)
+                        return value
+            value = self._eval_var(expr, frame, False)
+            if value.__class__ is MCaseV:
+                owner = self._elim_owner
+                if owner is not None:
+                    self._elim_owner = None
+                return self._elim_with_mode(
+                    value,
+                    owner if owner is not None else frame.current_mode)
+            return value
+        return self._eval(expr, frame)
+
+    def _elim_with_mode(self, mcase: MCaseV,
+                        mode: Optional[Mode]) -> object:
+        """Implicit mode-case elimination at ``mode`` (the mode of the
+        object owning the field the value was read from, else the
+        current closure mode)."""
         self.stats.mcase_elims += 1
-        mode = getattr(expr, "_owner_mode", None)
-        if mode is None:
-            mode = frame.current_mode
         if self.tracer.enabled:
             self.tracer.emit(MCaseElimEvent(
                 ts=self.tracer.now(), mode=mode_name(mode),
                 source="interp"))
         return mcase.select(mode)
 
-    def _eval_raw(self, expr: ast.Expr, frame: _Frame,
-                  want_mcase: bool) -> object:
-        if isinstance(expr, ast.IntLit):
-            return expr.value
-        if isinstance(expr, ast.FloatLit):
-            return expr.value
-        if isinstance(expr, ast.StringLit):
-            return expr.value
-        if isinstance(expr, ast.BoolLit):
-            return expr.value
-        if isinstance(expr, ast.NullLit):
-            return None
-        if isinstance(expr, ast.This):
-            return frame.this_obj
-        if isinstance(expr, ast.Var):
-            return self._eval_var(expr, frame)
-        if isinstance(expr, ast.FieldAccess):
-            return self._eval_field_access(expr, frame)
-        if isinstance(expr, ast.MethodCall):
-            return self._eval_call(expr, frame)
-        if isinstance(expr, ast.New):
-            return self._eval_new(expr, frame)
-        if isinstance(expr, ast.Cast):
-            return self._eval_cast(expr, frame)
-        if isinstance(expr, ast.Snapshot):
-            return self._eval_snapshot(expr, frame)
-        if isinstance(expr, ast.MCaseExpr):
-            return self._eval_mcase(expr, frame)
-        if isinstance(expr, ast.MSelect):
-            return self._eval_mselect(expr, frame)
-        if isinstance(expr, ast.Binary):
-            return self._eval_binary(expr, frame)
-        if isinstance(expr, ast.Unary):
-            return self._eval_unary(expr, frame)
-        if isinstance(expr, ast.ListLit):
-            return [self._eval(e, frame) for e in expr.elements]
-        if isinstance(expr, ast.InstanceOf):
-            return self._eval_instanceof(expr, frame)
-        raise StuckError(  # pragma: no cover
-            f"unknown expression {type(expr).__name__}")
+    def _eval_literal(self, expr, frame: _Frame, want_mcase) -> object:
+        return expr.value
 
-    def _eval_var(self, expr: ast.Var, frame: _Frame) -> object:
-        found, value = frame.lookup(expr.name)
+    def _eval_null(self, expr, frame: _Frame, want_mcase) -> object:
+        return None
+
+    def _eval_this(self, expr, frame: _Frame, want_mcase) -> object:
+        return frame.this_obj
+
+    def _eval_var(self, expr: ast.Var, frame: _Frame,
+                  want_mcase) -> object:
+        name = expr.name
+        kind = expr.resolved_kind
+        if kind == "local":
+            for scope in reversed(frame.locals):
+                if name in scope:
+                    return scope[name]
+        elif kind == "field":
+            this_obj = frame.this_obj
+            if this_obj is not None:
+                fields = this_obj.fields
+                if name in fields:
+                    value = fields[name]
+                    if value.__class__ is MCaseV:
+                        self._elim_owner = this_obj.effective_mode
+                    return value
+        elif kind == "mode":
+            mode = self._mode_by_name.get(name)
+            if mode is not None:
+                return mode
+        elif kind == "native":
+            return _NativeRef(name)
+        return self._eval_var_generic(name, frame)
+
+    def _eval_var_generic(self, name: str, frame: _Frame) -> object:
+        """Dynamic resolution order: locals, this-fields, mode constants,
+        native classes.  Fallback for un-annotated ASTs."""
+        found, value = frame.lookup(name)
         if found:
             return value
-        if frame.this_obj is not None and expr.name in frame.this_obj.fields:
-            value = frame.this_obj.fields[expr.name]
+        this_obj = frame.this_obj
+        if this_obj is not None and name in this_obj.fields:
+            value = this_obj.fields[name]
             if isinstance(value, MCaseV):
-                expr._owner_mode = frame.this_obj.effective_mode
+                self._elim_owner = this_obj.effective_mode
             return value
-        mode = Mode(expr.name) if self._is_mode_name(expr.name) else None
+        mode = self._mode_by_name.get(name)
         if mode is not None:
             return mode
-        if expr.name in NATIVE_STATIC_CLASSES:
-            return _NativeRef(expr.name)
-        raise StuckError(f"unknown variable {expr.name!r}")
+        if name in NATIVE_STATIC_CLASSES:
+            return _NativeRef(name)
+        raise StuckError(f"unknown variable {name!r}")
 
     def _is_mode_name(self, name: str) -> bool:
-        try:
-            return Mode(name) in self.lattice
-        except Exception:
-            return False
+        return name in self._mode_by_name
 
     def _eval_field_access(self, expr: ast.FieldAccess,
-                           frame: _Frame) -> object:
+                           frame: _Frame, want_mcase) -> object:
         obj = self._eval(expr.obj, frame)
         if isinstance(obj, ObjectV):
             value = obj.get_field(expr.name)
             if isinstance(value, MCaseV):
                 # Elimination projects on the mode of the object that
                 # *encloses* the field.
-                expr._owner_mode = obj.effective_mode
+                self._elim_owner = obj.effective_mode
             return value
         raise StuckError(f"cannot access field {expr.name!r} of {obj!r}")
 
-    def _eval_call(self, expr: ast.MethodCall, frame: _Frame) -> object:
+    def _eval_call(self, expr: ast.MethodCall, frame: _Frame,
+                   want_mcase) -> object:
         if expr.receiver is None:
             receiver: object = frame.this_obj
             self_call = True
         else:
-            receiver = self._eval(expr.receiver, frame)
-            self_call = (isinstance(expr.receiver, ast.This)
+            receiver = self._eval_leaf(expr.receiver, frame)
+            self_call = (expr.receiver.__class__ is ast.This
                          or receiver is frame.this_obj)
-        if isinstance(receiver, _NativeRef):
-            args = [self._eval(a, frame) for a in expr.args]
-            return call_native_static(self, receiver.name, expr.name, args)
-        if isinstance(receiver, str):
-            args = [self._eval(a, frame) for a in expr.args]
-            return call_string_method(self, receiver, expr.name, args)
-        if isinstance(receiver, list):
-            args = [self._eval(a, frame) for a in expr.args]
-            return call_list_method(self, receiver, expr.name, args)
-        if isinstance(receiver, ObjectV):
+        if receiver.__class__ is ObjectV:
             minfo = self._find_method(receiver.class_info, expr.name)
             if minfo is None:
                 raise StuckError(
                     f"no method {expr.name!r} on class "
                     f"{receiver.class_info.name}")
+            wants = self._param_wants.get(id(minfo))
+            if wants is None:
+                wants = tuple(isinstance(p, ty.MCaseType)
+                              for p in minfo.param_types)
+                self._param_wants[id(minfo)] = wants
             args = []
-            for arg_expr, ptype in zip(expr.args, minfo.param_types):
-                wants = isinstance(ptype, ty.MCaseType)
-                args.append(self._eval(arg_expr, frame, want_mcase=wants))
+            append = args.append
+            for arg_expr, w in zip(expr.args, wants):
+                if arg_expr.__class__ is ast.Binary:
+                    append(self._eval_binary(arg_expr, frame, False))
+                elif w:
+                    append(self._eval(arg_expr, frame, True))
+                else:
+                    append(self._eval_leaf(arg_expr, frame))
             return self._invoke(receiver, minfo, args, frame,
                                 self_call=self_call, span=expr.span)
+        args = [self._eval(a, frame) for a in expr.args]
+        if isinstance(receiver, _NativeRef):
+            return call_native_static(self, receiver.name, expr.name, args)
+        if isinstance(receiver, str):
+            return call_string_method(self, receiver, expr.name, args)
+        if isinstance(receiver, list):
+            return call_list_method(self, receiver, expr.name, args)
         if receiver is None:
             raise StuckError(
                 f"null receiver for method {expr.name!r}")
         raise StuckError(f"cannot invoke {expr.name!r} on {receiver!r}")
 
-    def _eval_new(self, expr: ast.New, frame: _Frame) -> object:
+    def _eval_new(self, expr: ast.New, frame: _Frame,
+                  want_mcase) -> object:
         resolved = getattr(expr, "resolved_type", None)
         if resolved == ty.LIST:
             return []
@@ -807,22 +1144,21 @@ class Interpreter:
                 "new-expression was not typechecked (missing resolution)")
         assert isinstance(resolved, ObjectType)
         info = self.table.get(resolved.class_name)
-        ctor = info.decl.constructor if info.decl is not None else None
-        arg_values = []
-        if ctor is not None:
-            class_vars = {p.var for p in info.params if p.var}
-            for arg_expr in expr.args:
-                arg_values.append(self._eval(arg_expr, frame))
-        else:
-            arg_values = [self._eval(a, frame) for a in expr.args]
+        arg_values = [self._eval(a, frame) for a in expr.args]
         return self._construct(info, resolved.mode_args, arg_values, frame,
                                expr.span)
 
-    def _eval_cast(self, expr: ast.Cast, frame: _Frame) -> object:
+    def _eval_cast(self, expr: ast.Cast, frame: _Frame,
+                   want_mcase) -> object:
         value = self._eval(expr.expr, frame)
         target = getattr(expr, "resolved_target", None)
         if target is None:
             raise StuckError("cast was not typechecked")
+        return self._cast_value(value, target, frame)
+
+    def _cast_value(self, value: object, target: ty.Type,
+                    frame: _Frame) -> object:
+        """Cast an already-evaluated value (shared with the compiler)."""
         if target == ty.INT:
             if isinstance(value, (int, float)) and not isinstance(value,
                                                                   bool):
@@ -875,8 +1211,16 @@ class Interpreter:
                 f"{target_mode.name}")
         return value
 
-    def _eval_snapshot(self, expr: ast.Snapshot, frame: _Frame) -> object:
+    def _eval_snapshot(self, expr: ast.Snapshot, frame: _Frame,
+                       want_mcase) -> object:
         value = self._eval(expr.expr, frame)
+        bounds = getattr(expr, "resolved_bounds", (BOTTOM, TOP))
+        return self._snapshot_value(value, bounds, frame)
+
+    def _snapshot_value(self, value: object, bounds,
+                        frame: _Frame) -> object:
+        """Snapshot an already-evaluated value against ``(lo, hi)`` bound
+        atoms (shared with the compiler)."""
         if not isinstance(value, ObjectV):
             raise StuckError(f"cannot snapshot {value!r}")
         attributor = self._find_attributor(value.class_info)
@@ -889,7 +1233,6 @@ class Interpreter:
         attr_frame = _Frame(this_obj=value,
                             mode_env=dict(value.mode_env),
                             current_mode=BOTTOM)
-        attr_frame.push()
         mode = self._run_attributor_body(attributor, attr_frame,
                                          value.class_info.name)
         if traced:
@@ -902,7 +1245,11 @@ class Interpreter:
             if first.var is not None:
                 value.mode_env[first.var] = mode
             return value
-        lower, upper = self._snapshot_bounds(expr, frame)
+        lower = self._resolve_atom(bounds[0], frame)
+        upper = self._resolve_atom(bounds[1], frame)
+        # An unresolvable bound variable degrades to the loosest bound.
+        lower = lower if lower is not None else BOTTOM
+        upper = upper if upper is not None else TOP
         self.stats.bound_checks += 1
         ok = self.lattice.leq(lower, mode) and self.lattice.leq(mode, upper)
         if traced:
@@ -933,15 +1280,8 @@ class Interpreter:
         self.stats.copies += 1
         return value.shallow_copy(mode)
 
-    def _snapshot_bounds(self, expr: ast.Snapshot, frame: _Frame):
-        bounds = getattr(expr, "resolved_bounds", (BOTTOM, TOP))
-        lower = self._resolve_atom(bounds[0], frame)
-        upper = self._resolve_atom(bounds[1], frame)
-        # An unresolvable bound variable degrades to the loosest bound.
-        return (lower if lower is not None else BOTTOM,
-                upper if upper is not None else TOP)
-
-    def _eval_mcase(self, expr: ast.MCaseExpr, frame: _Frame) -> MCaseV:
+    def _eval_mcase(self, expr: ast.MCaseExpr, frame: _Frame,
+                    want_mcase) -> MCaseV:
         branches: Dict[Mode, object] = {}
         default = MCaseV._MISSING
         for branch in expr.branches:
@@ -954,11 +1294,18 @@ class Interpreter:
             return MCaseV(branches)
         return MCaseV(branches, default)
 
-    def _eval_mselect(self, expr: ast.MSelect, frame: _Frame) -> object:
+    def _eval_mselect(self, expr: ast.MSelect, frame: _Frame,
+                      want_mcase) -> object:
         value = self._eval(expr.expr, frame, want_mcase=True)
+        atom = getattr(expr, "resolved_mode", expr.mode_name)
+        return self._mselect_value(value, atom, frame)
+
+    def _mselect_value(self, value: object, atom,
+                       frame: _Frame) -> object:
+        """Explicit elimination of an already-evaluated mode case at a
+        bound atom (shared with the compiler)."""
         if not isinstance(value, MCaseV):
             raise StuckError(f"mselect on non-mcase value {value!r}")
-        atom = getattr(expr, "resolved_mode", expr.mode_name)
         mode = self._resolve_atom(atom, frame)
         self.stats.mcase_elims += 1
         if self.tracer.enabled:
@@ -967,20 +1314,53 @@ class Interpreter:
                 source="interp"))
         return value.select(mode)
 
-    def _eval_binary(self, expr: ast.Binary, frame: _Frame) -> object:
+    def _eval_binary(self, expr: ast.Binary, frame: _Frame,
+                     want_mcase) -> object:
         op = expr.op
+        # Arithmetic/comparison dominates, so probe the operator table
+        # first; the numeric type checks exclude bool, and everything
+        # else goes through the shared checked helper.
+        func = _ARITH.get(op)
+        if func is not None:
+            node = expr.left
+            left = (node.value if node.__class__ is ast.IntLit
+                    else self._eval_leaf(node, frame))
+            node = expr.right
+            right = (node.value if node.__class__ is ast.IntLit
+                     else self._eval_leaf(node, frame))
+            t = type(left)
+            if t is int or t is float:
+                t = type(right)
+                if t is int or t is float:
+                    return func(left, right)
+            return self._binary_op(op, left, right)
         if op == "&&":
-            left = self._eval(expr.left, frame)
+            left = self._eval_leaf(expr.left, frame)
             if not self._truth(left):
                 return False
-            return self._truth(self._eval(expr.right, frame))
+            return self._truth(self._eval_leaf(expr.right, frame))
         if op == "||":
-            left = self._eval(expr.left, frame)
+            left = self._eval_leaf(expr.left, frame)
             if self._truth(left):
                 return True
-            return self._truth(self._eval(expr.right, frame))
-        left = self._eval(expr.left, frame)
-        right = self._eval(expr.right, frame)
+            return self._truth(self._eval_leaf(expr.right, frame))
+        left = self._eval_leaf(expr.left, frame)
+        right = self._eval_leaf(expr.right, frame)
+        return self._binary_op(op, left, right)
+
+    def _binary_op(self, op: str, left: object, right: object) -> object:
+        """Apply a non-short-circuit binary operator to evaluated
+        operands (shared with the compiler's slow path)."""
+        # Numbers first: the exact type checks exclude bool (a subclass
+        # of int), and ``==``/``!=`` are absent from the table so they
+        # fall through to values_equal below.
+        t = type(left)
+        if t is int or t is float:
+            t = type(right)
+            if t is int or t is float:
+                func = _ARITH.get(op)
+                if func is not None:
+                    return func(left, right)
         if op == "==":
             return self.values_equal(left, right)
         if op == "!=":
@@ -991,40 +1371,18 @@ class Interpreter:
             raise StuckError(
                 f"operator {op!r} on non-numeric operands "
                 f"{left!r}, {right!r}")
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            if right == 0:
-                raise EntRuntimeError("division by zero")
-            if isinstance(left, int) and isinstance(right, int):
-                return int(left / right)  # Java truncating division
-            return left / right
-        if op == "%":
-            if right == 0:
-                raise EntRuntimeError("modulo by zero")
-            if isinstance(left, int) and isinstance(right, int):
-                return left - int(left / right) * right
-            return left % right
-        if op == "<":
-            return left < right
-        if op == "<=":
-            return left <= right
-        if op == ">":
-            return left > right
-        if op == ">=":
-            return left >= right
-        raise StuckError(f"unknown operator {op!r}")  # pragma: no cover
+        func = _ARITH.get(op)
+        if func is None:  # pragma: no cover
+            raise StuckError(f"unknown operator {op!r}")
+        return func(left, right)
 
     @staticmethod
     def _is_number(value: object) -> bool:
         return isinstance(value, (int, float)) and not isinstance(value,
                                                                   bool)
 
-    def _eval_unary(self, expr: ast.Unary, frame: _Frame) -> object:
+    def _eval_unary(self, expr: ast.Unary, frame: _Frame,
+                    want_mcase) -> object:
         value = self._eval(expr.expr, frame)
         if expr.op == "-":
             if self._is_number(value):
@@ -1034,8 +1392,12 @@ class Interpreter:
             return not self._truth(value)
         raise StuckError(f"unknown unary {expr.op!r}")  # pragma: no cover
 
+    def _eval_listlit(self, expr: ast.ListLit, frame: _Frame,
+                      want_mcase) -> object:
+        return [self._eval(e, frame) for e in expr.elements]
+
     def _eval_instanceof(self, expr: ast.InstanceOf,
-                         frame: _Frame) -> bool:
+                         frame: _Frame, want_mcase) -> bool:
         value = self._eval(expr.expr, frame)
         if value is None:
             return False
@@ -1043,6 +1405,45 @@ class Interpreter:
             return False
         return self.table.is_subclass(value.class_info.name,
                                       expr.class_name)
+
+
+#: Type-keyed dispatch: one dict probe per node instead of an
+#: ``isinstance`` ladder.  Keyed by exact class (AST nodes are final).
+_EVAL_DISPATCH = {
+    ast.IntLit: Interpreter._eval_literal,
+    ast.FloatLit: Interpreter._eval_literal,
+    ast.StringLit: Interpreter._eval_literal,
+    ast.BoolLit: Interpreter._eval_literal,
+    ast.NullLit: Interpreter._eval_null,
+    ast.This: Interpreter._eval_this,
+    ast.Var: Interpreter._eval_var,
+    ast.FieldAccess: Interpreter._eval_field_access,
+    ast.MethodCall: Interpreter._eval_call,
+    ast.New: Interpreter._eval_new,
+    ast.Cast: Interpreter._eval_cast,
+    ast.Snapshot: Interpreter._eval_snapshot,
+    ast.MCaseExpr: Interpreter._eval_mcase,
+    ast.MSelect: Interpreter._eval_mselect,
+    ast.Binary: Interpreter._eval_binary,
+    ast.Unary: Interpreter._eval_unary,
+    ast.ListLit: Interpreter._eval_listlit,
+    ast.InstanceOf: Interpreter._eval_instanceof,
+}
+
+_STMT_DISPATCH = {
+    ast.Block: Interpreter._stmt_block,
+    ast.LocalVarDecl: Interpreter._stmt_local,
+    ast.Assign: Interpreter._exec_assign,
+    ast.ExprStmt: Interpreter._stmt_expr,
+    ast.If: Interpreter._stmt_if,
+    ast.While: Interpreter._stmt_while,
+    ast.Foreach: Interpreter._exec_foreach,
+    ast.Return: Interpreter._stmt_return,
+    ast.Break: Interpreter._stmt_break,
+    ast.Continue: Interpreter._stmt_continue,
+    ast.TryCatch: Interpreter._stmt_try,
+    ast.Throw: Interpreter._stmt_throw,
+}
 
 
 def run_source(source: str, args: Optional[List[str]] = None,

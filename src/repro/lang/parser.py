@@ -53,12 +53,21 @@ class Parser:
     # ------------------------------------------------------------------
     # Token plumbing
 
+    # The token list always ends with EOF and _advance never moves past
+    # it, so _pos stays in range and lookahead-0 needs no bounds check.
+
     def _peek(self, offset: int = 0) -> Token:
-        index = min(self._pos + offset, len(self._tokens) - 1)
-        return self._tokens[index]
+        if offset:
+            try:
+                return self._tokens[self._pos + offset]
+            except IndexError:
+                return self._tokens[-1]
+        return self._tokens[self._pos]
 
     def _at(self, kind: TokenKind, offset: int = 0) -> bool:
-        return self._peek(offset).kind is kind
+        if offset:
+            return self._peek(offset).kind is kind
+        return self._tokens[self._pos].kind is kind
 
     def _advance(self) -> Token:
         token = self._tokens[self._pos]
@@ -67,17 +76,22 @@ class Parser:
         return token
 
     def _expect(self, kind: TokenKind, context: str = "") -> Token:
-        token = self._peek()
+        token = self._tokens[self._pos]
         if token.kind is not kind:
             where = f" in {context}" if context else ""
             raise EntSyntaxError(
                 f"expected {kind.value!r}{where}, found {token.text!r}",
                 token.span)
-        return self._advance()
+        if kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
 
     def _accept(self, kind: TokenKind) -> Optional[Token]:
-        if self._at(kind):
-            return self._advance()
+        token = self._tokens[self._pos]
+        if token.kind is kind:
+            if kind is not TokenKind.EOF:
+                self._pos += 1
+            return token
         return None
 
     def _expect_ident(self, context: str = "") -> Token:
@@ -435,54 +449,45 @@ class Parser:
             left = ast.Binary(op="&&", left=left, right=right, span=op.span)
         return left
 
-    def _parse_equality(self) -> ast.Expr:
-        left = self._parse_relational()
-        while self._at(TokenKind.EQ) or self._at(TokenKind.NE):
-            op = self._advance()
-            right = self._parse_relational()
-            left = ast.Binary(op=op.text, left=left, right=right,
-                              span=op.span)
-        return left
+    # Binary-operator precedence for the climbing parser below.  The
+    # four cascade levels (equality < relational < additive <
+    # multiplicative) are folded into one loop producing identical
+    # left-associative trees; ``instanceof`` sits at relational level.
+    _BIN_PREC = {
+        TokenKind.EQ: 1, TokenKind.NE: 1,
+        TokenKind.LT: 2, TokenKind.LE: 2,
+        TokenKind.GT: 2, TokenKind.GE: 2,
+        TokenKind.PLUS: 3, TokenKind.MINUS: 3,
+        TokenKind.STAR: 4, TokenKind.SLASH: 4, TokenKind.PERCENT: 4,
+    }
 
-    def _parse_relational(self) -> ast.Expr:
-        left = self._parse_additive()
+    def _parse_equality(self) -> ast.Expr:
+        return self._parse_binary_ops(1)
+
+    def _parse_binary_ops(self, min_prec: int) -> ast.Expr:
+        prec_table = self._BIN_PREC
+        left = self._parse_unary()
         while True:
-            if self._at(TokenKind.KW_INSTANCEOF):
-                op = self._advance()
+            token = self._tokens[self._pos]
+            kind = token.kind
+            if kind is TokenKind.KW_INSTANCEOF:
+                if min_prec > 2:
+                    return left
+                self._advance()
                 cname = self._expect_ident("instanceof").text
                 left = ast.InstanceOf(expr=left, class_name=cname,
-                                      span=op.span)
+                                      span=token.span)
                 continue
-            if (self._at(TokenKind.LT) or self._at(TokenKind.LE)
-                    or self._at(TokenKind.GT) or self._at(TokenKind.GE)):
-                op = self._advance()
-                right = self._parse_additive()
-                left = ast.Binary(op=op.text, left=left, right=right,
-                                  span=op.span)
-                continue
-            return left
-
-    def _parse_additive(self) -> ast.Expr:
-        left = self._parse_multiplicative()
-        while self._at(TokenKind.PLUS) or self._at(TokenKind.MINUS):
-            op = self._advance()
-            right = self._parse_multiplicative()
-            left = ast.Binary(op=op.text, left=left, right=right,
-                              span=op.span)
-        return left
-
-    def _parse_multiplicative(self) -> ast.Expr:
-        left = self._parse_unary()
-        while (self._at(TokenKind.STAR) or self._at(TokenKind.SLASH)
-               or self._at(TokenKind.PERCENT)):
-            op = self._advance()
-            right = self._parse_unary()
-            left = ast.Binary(op=op.text, left=left, right=right,
-                              span=op.span)
-        return left
+            prec = prec_table.get(kind)
+            if prec is None or prec < min_prec:
+                return left
+            self._pos += 1
+            right = self._parse_binary_ops(prec + 1)
+            left = ast.Binary(op=token.text, left=left, right=right,
+                              span=token.span)
 
     def _parse_unary(self) -> ast.Expr:
-        token = self._peek()
+        token = self._tokens[self._pos]
         if token.kind is TokenKind.MINUS:
             self._advance()
             return ast.Unary(op="-", expr=self._parse_unary(),
@@ -539,10 +544,11 @@ class Parser:
 
     def _parse_postfix(self) -> ast.Expr:
         expr = self._parse_primary()
-        while self._at(TokenKind.DOT):
-            self._advance()
+        tokens = self._tokens
+        while tokens[self._pos].kind is TokenKind.DOT:
+            self._pos += 1
             name = self._expect_ident("member access").text
-            if self._at(TokenKind.LPAREN):
+            if tokens[self._pos].kind is TokenKind.LPAREN:
                 args = self._parse_args()
                 expr = ast.MethodCall(receiver=expr, name=name, args=args,
                                       span=expr.span)
@@ -562,28 +568,28 @@ class Parser:
         return args
 
     def _parse_primary(self) -> ast.Expr:
-        token = self._peek()
+        token = self._tokens[self._pos]
         kind = token.kind
         if kind is TokenKind.INT:
-            self._advance()
+            self._pos += 1
             return ast.IntLit(value=int(token.value), span=token.span)
         if kind is TokenKind.FLOAT:
-            self._advance()
+            self._pos += 1
             return ast.FloatLit(value=float(token.value), span=token.span)
         if kind is TokenKind.STRING:
-            self._advance()
+            self._pos += 1
             return ast.StringLit(value=str(token.value), span=token.span)
         if kind is TokenKind.KW_TRUE:
-            self._advance()
+            self._pos += 1
             return ast.BoolLit(value=True, span=token.span)
         if kind is TokenKind.KW_FALSE:
-            self._advance()
+            self._pos += 1
             return ast.BoolLit(value=False, span=token.span)
         if kind is TokenKind.KW_NULL:
-            self._advance()
+            self._pos += 1
             return ast.NullLit(span=token.span)
         if kind is TokenKind.KW_THIS:
-            self._advance()
+            self._pos += 1
             return ast.This(span=token.span)
         if kind is TokenKind.KW_NEW:
             return self._parse_new()
@@ -599,8 +605,8 @@ class Parser:
             self._expect(TokenKind.RPAREN, "parenthesized expression")
             return expr
         if kind is TokenKind.IDENT:
-            self._advance()
-            if self._at(TokenKind.LPAREN):
+            self._pos += 1
+            if self._tokens[self._pos].kind is TokenKind.LPAREN:
                 args = self._parse_args()
                 return ast.MethodCall(receiver=None, name=token.text,
                                       args=args, span=token.span)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.errors import SourceSpan
@@ -116,12 +115,28 @@ KEYWORDS = {
 }
 
 
-@dataclass(frozen=True)
 class Token:
-    kind: TokenKind
-    text: str
-    span: SourceSpan
-    value: Optional[object] = None  # decoded literal value, if any
+    """One lexed token.  A ``__slots__`` class (not a dataclass) because
+    the lexer constructs thousands of these per compile."""
+
+    __slots__ = ("kind", "text", "span", "value")
+
+    def __init__(self, kind: TokenKind, text: str, span: SourceSpan,
+                 value: Optional[object] = None) -> None:
+        self.kind = kind
+        self.text = text
+        self.span = span
+        self.value = value  # decoded literal value, if any
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (self.kind == other.kind and self.text == other.text
+                and self.span == other.span and self.value == other.value)
+
+    def __repr__(self) -> str:
+        return (f"Token(kind={self.kind!r}, text={self.text!r}, "
+                f"span={self.span!r}, value={self.value!r})")
 
     def __str__(self) -> str:
         return f"{self.kind.name}({self.text!r})@{self.span}"

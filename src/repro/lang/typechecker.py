@@ -109,6 +109,10 @@ class TypeChecker:
         self.strict_mcase_coverage = strict_mcase_coverage
         self.lattice = self._build_lattice()
         self.table = ClassTable()
+        # (class name, extra param) -> base constraint set; ClassInfo
+        # params are immutable once resolved, so entries never go stale.
+        self._base_constraints_cache: Dict[
+            Tuple[str, Optional[ModeParam]], ConstraintSet] = {}
 
     # ==================================================================
     # Phase 1: mode lattice
@@ -405,12 +409,18 @@ class TypeChecker:
     def _base_constraints(self, info: ClassInfo,
                           extra: Optional[ModeParam] = None
                           ) -> ConstraintSet:
+        key = (info.name, extra)
+        cached = self._base_constraints_cache.get(key)
+        if cached is not None:
+            return cached
         pairs = []
         for param in info.params:
             pairs.extend(param.bounds_constraints())
         if extra is not None:
             pairs.extend(extra.bounds_constraints())
-        return ConstraintSet(self.lattice, pairs)
+        constraints = ConstraintSet(self.lattice, pairs)
+        self._base_constraints_cache[key] = constraints
+        return constraints
 
     def _internal_this_type(self, info: ClassInfo) -> ObjectType:
         return ObjectType(info.name,

@@ -282,18 +282,37 @@ class ClassInfo:
 
 
 class ClassTable:
-    """All classes of a program, with inheritance-aware lookups."""
+    """All classes of a program, with inheritance-aware lookups.
+
+    Lookup results are memoized: the table only ever grows (via
+    :meth:`add`, which drops every cache), classes are immutable once
+    registered, and the substituted types/mappings handed out are treated
+    as read-only by all callers, so a cached answer can be shared freely.
+    """
 
     def __init__(self) -> None:
         self._classes: Dict[str, ClassInfo] = {}
         object_info = ClassInfo(name="Object", superclass=None,
                                 params=[ModeParam(var="$X_Object")])
         self._classes["Object"] = object_info
+        self._reset_caches()
+
+    def _reset_caches(self) -> None:
+        self._chain_cache: Dict[ObjectType, Tuple[ObjectType, ...]] = {}
+        self._method_cache: Dict[Tuple[ObjectType, str],
+                                 Tuple["MethodInfo", Dict[str, ModeAtom]]] = {}
+        self._field_cache: Dict[Tuple[ObjectType, str],
+                                Tuple["FieldInfo", "Type"]] = {}
+        self._fields_list_cache: Dict[str, Tuple["FieldInfo", ...]] = {}
+        self._subclass_cache: Dict[Tuple[str, str], bool] = {}
+        self._inst_cache: Dict[Tuple[str, Tuple[ModeAtom, ...]],
+                               Dict[str, ModeAtom]] = {}
 
     def add(self, info: ClassInfo) -> None:
         if info.name in self._classes:
             raise EntTypeError(f"duplicate class {info.name!r}")
         self._classes[info.name] = info
+        self._reset_caches()
 
     def __contains__(self, name: str) -> bool:
         return name in self._classes
@@ -320,14 +339,19 @@ class ClassTable:
                 seen.add(current)
                 current = self.get(current).superclass
 
-    def supertype_chain(self, typ: ObjectType) -> List[ObjectType]:
+    def supertype_chain(self, typ: ObjectType) -> Tuple[ObjectType, ...]:
         """``typ`` and all its supertypes with mode args substituted."""
+        cached = self._chain_cache.get(typ)
+        if cached is not None:
+            return cached
         chain = [typ]
         current = typ
         while True:
             info = self.get(current.class_name)
             if info.superclass is None:
-                return chain
+                result = tuple(chain)
+                self._chain_cache[typ] = result
+                return result
             mapping = self._param_mapping(info, current.mode_args)
             super_args = tuple(_subst_atom(a, mapping)
                                for a in info.super_args)
@@ -354,28 +378,50 @@ class ClassTable:
 
     def instantiate(self, info: ClassInfo,
                     args: Tuple[ModeAtom, ...]) -> Dict[str, ModeAtom]:
-        """Public wrapper for parameter substitution maps."""
-        return self._param_mapping(info, args)
+        """Public wrapper for parameter substitution maps.
+
+        The returned mapping is shared with the cache: treat it as
+        read-only (copy before mutating, as ``_check_user_call`` does).
+        """
+        key = (info.name, args)
+        cached = self._inst_cache.get(key)
+        if cached is None:
+            cached = self._param_mapping(info, args)
+            self._inst_cache[key] = cached
+        return cached
 
     def is_subclass(self, sub: str, sup: str) -> bool:
+        key = (sub, sup)
+        cached = self._subclass_cache.get(key)
+        if cached is not None:
+            return cached
+        answer = False
         current: Optional[str] = sub
         while current is not None:
             if current == sup:
-                return True
+                answer = True
+                break
             current = self.get(current).superclass
-        return False
+        self._subclass_cache[key] = answer
+        return answer
 
     def lookup_field(self, typ: ObjectType,
                      name: str) -> Tuple[FieldInfo, Type]:
         """The paper's ``fields(T)``: find a field walking up the chain,
         returning its info and its declared type with this instantiation's
         mode arguments substituted in."""
+        key = (typ, name)
+        cached = self._field_cache.get(key)
+        if cached is not None:
+            return cached
         for step in self.supertype_chain(typ):
             info = self.get(step.class_name)
             if name in info.fields:
                 finfo = info.fields[name]
                 mapping = self._param_mapping(info, step.mode_args)
-                return finfo, finfo.declared.substitute(mapping)
+                result = (finfo, finfo.declared.substitute(mapping))
+                self._field_cache[key] = result
+                return result
         raise EntTypeError(
             f"no field {name!r} in class {typ.class_name}")
 
@@ -385,17 +431,28 @@ class ClassTable:
 
         Returns the method info together with the substitution mapping the
         *owning* class's mode variables to this instantiation's atoms.
+        The mapping is shared with the cache: callers must copy before
+        mutating it.
         """
+        key = (typ, name)
+        cached = self._method_cache.get(key)
+        if cached is not None:
+            return cached
         for step in self.supertype_chain(typ):
             info = self.get(step.class_name)
             if name in info.methods:
                 mapping = self._param_mapping(info, step.mode_args)
-                return info.methods[name], mapping
+                result = (info.methods[name], mapping)
+                self._method_cache[key] = result
+                return result
         raise EntTypeError(
             f"no method {name!r} in class {typ.class_name}")
 
-    def all_fields(self, class_name: str) -> List[FieldInfo]:
+    def all_fields(self, class_name: str) -> Tuple[FieldInfo, ...]:
         """Fields of a class including inherited ones (super first)."""
+        cached = self._fields_list_cache.get(class_name)
+        if cached is not None:
+            return cached
         chain: List[ClassInfo] = []
         current: Optional[str] = class_name
         while current is not None:
@@ -409,4 +466,6 @@ class ClassTable:
                 if finfo.name not in seen:
                     out.append(finfo)
                     seen.add(finfo.name)
-        return out
+        result = tuple(out)
+        self._fields_list_cache[class_name] = result
+        return result

@@ -41,7 +41,7 @@ import functools
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from dataclasses import fields as dataclass_fields
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core.errors import EnergyException, EntError
 from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
@@ -109,6 +109,12 @@ class EntRuntime:
             attach_platform(self.tracer, platform)
         self._mode_stack = [TOP]
         self._self_stack = [None]
+        # (receiver mode, sender mode) -> waterfall verdict.  The
+        # lattice is fixed at construction, so entries never invalidate;
+        # only the verdict is memoized — stats, tracer events and the
+        # EnergyException path below are identical with a cold cache
+        # (see docs/PERFORMANCE.md).
+        self._dfall_cache: Dict[Tuple[Mode, Mode], bool] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -295,7 +301,11 @@ class EntRuntime:
                 self.tracer.energy_exception(message)
             raise EnergyException(message)
         sender = self.current_mode
-        holds = self.lattice.leq(guard, sender)
+        key = (guard, sender)
+        holds = self._dfall_cache.get(key)
+        if holds is None:
+            holds = self.lattice.leq(guard, sender)
+            self._dfall_cache[key] = holds
         if self.tracer.enabled:
             self.tracer.emit(DfallCheckEvent(
                 ts=self.tracer.now(), cls=type(obj).__name__,
