@@ -117,6 +117,20 @@ class Main {
 HOT_CHECKED = check_program(HOT_LOOP)
 
 
+def _hot_checked_elided():
+    """A separately-checked copy of the hot loop with the elision plan
+    applied (kept apart from ``HOT_CHECKED`` so the baseline benches
+    keep executing every check)."""
+    from repro.analysis import plan_elisions
+
+    checked = check_program(HOT_LOOP)
+    plan_elisions(checked)
+    return checked
+
+
+HOT_ELIDED = _hot_checked_elided()
+
+
 @pytest.mark.parametrize("compiled", [False, True],
                          ids=["walk", "compiled"])
 def test_bench_execution_engines(benchmark, compiled):
@@ -131,6 +145,24 @@ def test_bench_execution_engines(benchmark, compiled):
 
     interp = benchmark(run)
     assert interp.output == ["23997"]
+
+
+@pytest.mark.parametrize("compiled", [False, True],
+                         ids=["walk", "compiled"])
+def test_bench_check_elision(benchmark, compiled):
+    """The hot loop with repro.analysis check elision planned in."""
+
+    def run():
+        interp = Interpreter(
+            HOT_ELIDED,
+            options=InterpOptions(fuel=10_000_000, compile=compiled))
+        interp.run()
+        return interp
+
+    interp = benchmark(run)
+    assert interp.output == ["23997"]
+    assert interp.stats.dfall_elided == 8000
+    assert interp.stats.dfall_checks == 0
 
 
 SMALLSTEP_SOURCE = MODES + """
@@ -180,14 +212,35 @@ def _best_of(fn, repeats):
     return best
 
 
-def _run_hot_loop(compiled):
+def _run_hot_loop(compiled, checked=None):
     interp = Interpreter(
-        HOT_CHECKED,
+        checked if checked is not None else HOT_CHECKED,
         options=InterpOptions(fuel=10_000_000, compile=compiled))
     interp.run()
     if interp.output != ["23997"]:
         raise AssertionError(
             f"hot loop produced {interp.output!r}, expected ['23997']")
+    return interp
+
+
+def _check_counts():
+    """Dynamic-check counts of the hot loop, with and without elision."""
+    plain = _run_hot_loop(False)
+    elided = _run_hot_loop(False, HOT_ELIDED)
+    return {
+        "hot_loop": {
+            "executed": plain.stats.dfall_checks
+            + plain.stats.bound_checks,
+            "elided": plain.stats.dfall_elided
+            + plain.stats.bound_checks_elided,
+        },
+        "hot_loop_elide": {
+            "executed": elided.stats.dfall_checks
+            + elided.stats.bound_checks,
+            "elided": elided.stats.dfall_elided
+            + elided.stats.bound_checks_elided,
+        },
+    }
 
 
 def measure(repeats=5):
@@ -215,6 +268,10 @@ def measure(repeats=5):
         "hot_loop_walk_s": _best_of(lambda: _run_hot_loop(False), repeats),
         "hot_loop_compiled_s": _best_of(lambda: _run_hot_loop(True),
                                         repeats),
+        "hot_loop_elide_walk_s": _best_of(
+            lambda: _run_hot_loop(False, HOT_ELIDED), repeats),
+        "hot_loop_elide_compiled_s": _best_of(
+            lambda: _run_hot_loop(True, HOT_ELIDED), repeats),
         "smallstep_s": _best_of(lambda: run_kernel(small_checked), repeats),
     }
     return {
@@ -222,6 +279,7 @@ def measure(repeats=5):
         "repeats": repeats,
         "benches": {key: round(value, 6)
                     for key, value in benches.items()},
+        "checks": _check_counts(),
         "python": host_platform.python_version(),
         "machine": host_platform.machine(),
     }

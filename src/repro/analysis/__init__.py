@@ -1,0 +1,31 @@
+"""repro.analysis — static analysis between typechecking and execution.
+
+Three cooperating passes over a ``CheckedProgram``:
+
+* the **check-obligation pass** (:mod:`.obligations`) enumerates every
+  dynamic check the runtime would emit — dfall guards, snapshot bound
+  checks, mode-case eliminations — with a source span and a reason;
+* the **mode-flow pass** (:mod:`.modeflow`, driven by the same walk)
+  propagates dynamically-enforced mode intervals through locals and
+  method boundaries;
+* the **elision planner** (:mod:`.planner`) annotates the AST so the
+  interpreter and compiler skip the checks proven to always pass.
+
+Entry points: :func:`analyze_program` (report only, or ``annotate=True``
+to also plan), :func:`plan_elisions` (analyze + annotate, what
+``repro run`` uses).  The soundness argument lives in docs/ANALYSIS.md.
+"""
+
+from repro.analysis.modeflow import ModeFact, join_facts, join_envs
+from repro.analysis.obligations import (CheckSite, ProgramAnalyzer,
+                                        DFALL, SNAPSHOT_BOUND,
+                                        MCASE_ELIM, STATIC, ELIDED,
+                                        RESIDUAL)
+from repro.analysis.planner import (analyze_program, apply_plan,
+                                    plan_elisions)
+from repro.analysis.report import AnalysisReport
+
+__all__ = ["ModeFact", "join_facts", "join_envs", "CheckSite",
+           "ProgramAnalyzer", "AnalysisReport", "analyze_program",
+           "apply_plan", "plan_elisions", "DFALL", "SNAPSHOT_BOUND",
+           "MCASE_ELIM", "STATIC", "ELIDED", "RESIDUAL"]

@@ -1,0 +1,118 @@
+"""Mode-flow facts: the dataflow domain of the analysis subsystem.
+
+The runtime's dynamic checks all ask questions about an object's
+*effective mode* (``ObjectV.effective_mode``).  The dataflow pass
+tracks, per local variable, a :class:`ModeFact` — a proof that the
+variable's value (when non-null) is an object whose effective mode is a
+**concrete** mode lying inside a lattice interval.  Facts come only
+from expressions whose mode is *dynamically enforced*:
+
+* ``new C@mode<m>(...)`` — the mode is fixed by construction;
+* ``snapshot e [lo, hi]`` — the bound check (executed, or elided
+  because it provably passes) guarantees ``lo <= mode <= hi``, and a
+  snapshotted object's mode never changes again (later snapshots of
+  the same object always copy, see ``values.py``);
+* ``(C@mode<m>) e`` — a successful cast checks mode equality;
+* a call whose callee (and every subclass override) provably *returns*
+  a fact-carrying value (the interprocedural summary).
+
+Declared types and declared mode-parameter bounds are deliberately
+**not** trusted: the runtime never re-checks them (only snapshot-site
+bounds are enforced), so a fact resting on a declaration would not
+entail the dynamic guard.  See docs/ANALYSIS.md for the full soundness
+argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
+
+__all__ = ["ModeFact", "join_facts", "join_envs", "glb", "lub",
+           "hull_fact", "refine"]
+
+
+@dataclass(frozen=True)
+class ModeFact:
+    """``lower <= effective_mode <= upper``, with the mode guaranteed to
+    be a concrete (non-``?``) member of the lattice at run time."""
+
+    lower: Mode
+    upper: Mode
+
+    @classmethod
+    def exact(cls, mode: Mode) -> "ModeFact":
+        return cls(mode, mode)
+
+    @classmethod
+    def unknown_concrete(cls) -> "ModeFact":
+        """Some concrete mode, with no interval information."""
+        return cls(BOTTOM, TOP)
+
+    @property
+    def is_exact(self) -> bool:
+        return self.lower is self.upper
+
+    def __str__(self) -> str:
+        if self.is_exact:
+            return self.lower.name
+        return f"[{self.lower.name}, {self.upper.name}]"
+
+
+def join_facts(a: Optional[ModeFact], b: Optional[ModeFact],
+               lattice: ModeLattice) -> Optional[ModeFact]:
+    """Control-flow join: the weakest fact implied by both.
+
+    ``None`` (no fact — the value may be null, un-snapshotted, or not
+    an object at all) absorbs everything.  Interval joins widen:
+    ``meet`` of the lowers, ``join`` of the uppers.
+    """
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    return ModeFact(lattice.meet(a.lower, b.lower),
+                    lattice.join(a.upper, b.upper))
+
+
+def join_envs(a: Dict[str, ModeFact], b: Dict[str, ModeFact],
+              lattice: ModeLattice) -> Dict[str, ModeFact]:
+    """Join two local-variable fact environments (branch merge)."""
+    out: Dict[str, ModeFact] = {}
+    for name, fact in a.items():
+        other = b.get(name)
+        if other is None:
+            continue
+        joined = join_facts(fact, other, lattice)
+        if joined is not None:
+            out[name] = joined
+    return out
+
+
+def glb(modes: Iterable[Mode], lattice: ModeLattice) -> Mode:
+    return reduce(lattice.meet, modes)
+
+
+def lub(modes: Iterable[Mode], lattice: ModeLattice) -> Mode:
+    return reduce(lattice.join, modes)
+
+
+def hull_fact(modes: FrozenSet[Mode],
+              lattice: ModeLattice) -> ModeFact:
+    """The tightest interval containing every mode in ``modes``."""
+    return ModeFact(glb(modes, lattice), lub(modes, lattice))
+
+
+def refine(fact: ModeFact, other: ModeFact,
+           lattice: ModeLattice) -> ModeFact:
+    """Intersect two facts known to hold simultaneously.
+
+    ``mode >= fact.lower`` and ``mode >= other.lower`` imply
+    ``mode >= join(lowers)`` (the mode is an upper bound of both, hence
+    at least their least upper bound); dually for the uppers.
+    """
+    return ModeFact(lattice.join(fact.lower, other.lower),
+                    lattice.meet(fact.upper, other.upper))

@@ -1,0 +1,62 @@
+"""The elision planner: turn ``elided`` verdicts into AST annotations.
+
+The interpreter and compiler read two per-node flags (class-level
+defaults on the AST nodes, following the ``resolved_kind`` idiom):
+
+* ``MethodCall.elide_dfall`` — skip the dynamic waterfall check in
+  ``Interpreter._invoke``;
+* ``Snapshot.elide_bound`` — skip the bound check in
+  ``Interpreter._snapshot_value``.
+
+Both flags are inert unless ``InterpOptions.elide_checks`` is on and
+the run is neither ``silent`` nor ``baseline`` (those options change
+the dynamic semantics the proofs rely on; the interpreter gates them
+out, see ``interp.py``).  Planning is deterministic and idempotent for
+a given ``CheckedProgram``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.obligations import (DFALL, ELIDED, SNAPSHOT_BOUND,
+                                        CheckSite, ProgramAnalyzer)
+from repro.analysis.report import AnalysisReport
+from repro.lang.typechecker import CheckedProgram
+
+__all__ = ["analyze_program", "plan_elisions", "apply_plan"]
+
+
+def apply_plan(sites: List[CheckSite]) -> int:
+    """Annotate the AST for every ``elided`` site; returns the count."""
+    applied = 0
+    for site in sites:
+        if site.status != ELIDED or site.node is None:
+            continue
+        if site.kind == DFALL:
+            site.node.elide_dfall = True
+            applied += 1
+        elif site.kind == SNAPSHOT_BOUND:
+            site.node.elide_bound = True
+            applied += 1
+    return applied
+
+
+def analyze_program(checked: CheckedProgram, *, annotate: bool = False,
+                    file: str = None) -> AnalysisReport:
+    """Run the obligation + mode-flow passes over a checked program.
+
+    With ``annotate=True`` the elision plan is also applied to the AST
+    (what ``plan_elisions`` and ``repro run`` do); without it the
+    report is purely informational (what ``repro analyze`` does).
+    """
+    analyzer = ProgramAnalyzer(checked)
+    sites = analyzer.analyze()
+    if annotate:
+        apply_plan(sites)
+    return AnalysisReport(sites=sites, file=file)
+
+
+def plan_elisions(checked: CheckedProgram) -> AnalysisReport:
+    """Analyze and annotate in one step (the ``repro run`` path)."""
+    return analyze_program(checked, annotate=True)

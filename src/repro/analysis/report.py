@@ -1,0 +1,87 @@
+"""The residual-check report: what remains dynamic, and why.
+
+``repro analyze <file>`` renders an :class:`AnalysisReport` — one line
+per check obligation with its source span, classification, and reason —
+plus the static/elided/residual totals the acceptance tooling and CI
+consume via ``--json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.obligations import (ELIDED, RESIDUAL, STATIC,
+                                        CheckSite)
+
+__all__ = ["AnalysisReport"]
+
+#: Fixed order for the status columns.
+_STATUSES = (STATIC, ELIDED, RESIDUAL)
+
+
+@dataclass
+class AnalysisReport:
+    """All check sites of one program, plus aggregate counts."""
+
+    sites: List[CheckSite] = field(default_factory=list)
+    file: Optional[str] = None
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out = {status: 0 for status in _STATUSES}
+        for site in self.sites:
+            out[site.status] = out.get(site.status, 0) + 1
+        return out
+
+    def by_kind(self) -> Dict[str, Dict[str, int]]:
+        out: Dict[str, Dict[str, int]] = {}
+        for site in self.sites:
+            bucket = out.setdefault(
+                site.kind, {status: 0 for status in _STATUSES})
+            bucket[site.status] = bucket.get(site.status, 0) + 1
+        return out
+
+    def elided_sites(self) -> List[CheckSite]:
+        return [s for s in self.sites if s.status == ELIDED]
+
+    def residual_sites(self) -> List[CheckSite]:
+        return [s for s in self.sites if s.status == RESIDUAL]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "counts": self.counts,
+            "by_kind": self.by_kind(),
+            "checks": [site.as_dict() for site in self._sorted()],
+        }
+
+    def _sorted(self) -> List[CheckSite]:
+        return sorted(
+            self.sites,
+            key=lambda s: (s.line if s.line is not None else 0,
+                           s.column if s.column is not None else 0,
+                           s.kind))
+
+    def render(self) -> str:
+        """Human-readable report (the default ``repro analyze`` output)."""
+        counts = self.counts
+        header = (f"{self.file or '<program>'}: {len(self.sites)} check "
+                  f"site(s) - {counts[STATIC]} static, "
+                  f"{counts[ELIDED]} elided, {counts[RESIDUAL]} residual")
+        if not self.sites:
+            return header
+        rows = [("line", "kind", "status", "site", "reason")]
+        for site in self._sorted():
+            rows.append((
+                str(site.line) if site.line is not None else "-",
+                site.kind, site.status,
+                f"{site.context}: {site.description}", site.reason))
+        widths = [max(len(row[col]) for row in rows)
+                  for col in range(4)]
+        lines = [header]
+        for row in rows:
+            lines.append("  " + "  ".join(
+                [row[col].ljust(widths[col]) for col in range(4)]
+                + [row[4]]).rstrip())
+        return "\n".join(lines)

@@ -4,6 +4,8 @@ Usage (installed as ``python -m repro``)::
 
     python -m repro check  program.ent          # typecheck only
     python -m repro run    program.ent [args]   # typecheck + run
+    python -m repro analyze program.ent         # residual-check report
+    python -m repro analyze --embedded prog.py  # lint embedded-API code
     python -m repro pretty program.ent          # parse + pretty-print
     python -m repro tokens program.ent          # lex only
     python -m repro obs report trace.jsonl      # analyse a trace
@@ -19,6 +21,14 @@ Usage (installed as ``python -m repro``)::
     --battery F     initial battery fraction for the platform
     --seed N        RNG / platform seed
     --stats         print run statistics as one JSON object (stderr)
+    --no-elide      keep every dynamic check (disable repro.analysis)
+
+``analyze`` runs the static-analysis subsystem (``repro.analysis``)
+and prints one line per dynamic-check obligation — elided checks are
+the ones ``run`` skips; residual ones name the reason they must stay.
+``--json`` emits the machine-readable report, ``--embedded`` routes a
+Python file through the embedded-API linter instead (see
+``docs/ANALYSIS.md``).
 
 ``run`` observability options (see ``docs/OBSERVABILITY.md``):
 
@@ -85,6 +95,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stats", action="store_true",
                      help="print run statistics as JSON on stderr")
     run.add_argument("--lenient-mcase", action="store_true")
+    run.add_argument("--no-elide", action="store_true",
+                     help="run every dynamic check (skip the "
+                          "repro.analysis elision planner)")
     run.add_argument("--trace", metavar="PATH", default=None,
                      help="record an execution trace to PATH")
     run.add_argument("--trace-format", choices=["jsonl", "chrome"],
@@ -93,6 +106,18 @@ def _build_parser() -> argparse.ArgumentParser:
                           "chrome (Perfetto)")
     run.add_argument("--trace-capacity", type=int, default=65536,
                      help="trace ring-buffer capacity (events)")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static analysis: report and plan dynamic-check elisions")
+    analyze.add_argument("file")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the report as one JSON object")
+    analyze.add_argument("--embedded", action="store_true",
+                         help="treat FILE as Python using the embedded "
+                              "API and run the runtime linter instead")
+    analyze.add_argument("--lenient-mcase", action="store_true",
+                         help="do not require full mode-case coverage")
 
     obs = sub.add_parser(
         "obs", help="observability: analyse and convert traces")
@@ -158,10 +183,14 @@ def _cmd_run(args) -> int:
     if args.trace is not None:
         from repro.obs.tracer import Tracer
         tracer = Tracer(capacity=args.trace_capacity)
+    if not args.no_elide:
+        from repro.analysis import plan_elisions
+        plan_elisions(checked)
     options = InterpOptions(silent=args.silent, baseline=args.baseline,
                             lazy_copy=not args.eager_copy,
                             fuel=args.fuel, compile=args.compile,
-                            inline_caches=not args.no_inline_caches)
+                            inline_caches=not args.no_inline_caches,
+                            elide_checks=not args.no_elide)
     interp = Interpreter(checked, platform=platform, options=options,
                          seed=args.seed, tracer=tracer)
     status = 0
@@ -190,6 +219,41 @@ def _cmd_run(args) -> int:
             })
         print(json.dumps(payload), file=sys.stderr)
     return status
+
+
+def _cmd_analyze(args) -> int:
+    if args.embedded:
+        return _analyze_embedded(args)
+    from repro.analysis import analyze_program
+
+    checked = check_program(
+        _read(args.file),
+        strict_mcase_coverage=not args.lenient_mcase)
+    report = analyze_program(checked, file=args.file)
+    if args.json:
+        print(json.dumps(report.as_dict()))
+    else:
+        print(report.render())
+    return 0
+
+
+def _analyze_embedded(args) -> int:
+    from repro.runtime.lint import lint_source
+
+    findings = lint_source(_read(args.file), filename=args.file)
+    errors = [f for f in findings if f.code.startswith("E")]
+    if args.json:
+        print(json.dumps({
+            "file": args.file,
+            "findings": [f.as_dict() for f in findings],
+            "errors": len(errors),
+        }))
+    else:
+        for finding in findings:
+            print(f"{args.file}:{finding}")
+        if not findings:
+            print(f"{args.file}: OK")
+    return 1 if errors else 0
 
 
 def _cmd_obs(args) -> int:
@@ -244,6 +308,7 @@ def _cmd_lint(args) -> int:
 _COMMANDS = {
     "check": _cmd_check,
     "run": _cmd_run,
+    "analyze": _cmd_analyze,
     "obs": _cmd_obs,
     "pretty": _cmd_pretty,
     "tokens": _cmd_tokens,

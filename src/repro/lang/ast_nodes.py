@@ -152,6 +152,21 @@ class MethodCall(Expr):
     name: str = ""
     args: List[Expr] = field(default_factory=list)
 
+    # Typechecker annotations (instance attributes overwrite the
+    # class-level defaults, the ``Var.resolved_kind`` idiom): the
+    # receiver's static type, the resolved method, and whether the call
+    # is statically a self message.  ``runtime_mode_check`` marks calls
+    # whose guard mode is only known at run time (method attributor /
+    # generic method at ``?``).
+    resolved_receiver_type = None
+    resolved_minfo = None
+    resolved_self_call = False
+    runtime_mode_check = False
+    # Set by repro.analysis.planner when the dfall check at this site is
+    # proven to always hold; the interpreter/compiler skip it when
+    # ``InterpOptions.elide_checks`` is on.
+    elide_dfall = False
+
 
 @dataclass
 class New(Expr):
@@ -183,6 +198,13 @@ class Snapshot(Expr):
     expr: Expr = field(default_factory=NullLit)
     lower: Optional[SnapshotBound] = None
     upper: Optional[SnapshotBound] = None
+
+    # Typechecker annotation: the snapshotted expression's class name.
+    resolved_class_name = None
+    # Set by repro.analysis.planner when the bound check is proven to
+    # always pass (vacuous bounds, or the attributor can only return
+    # modes inside the bounds).
+    elide_bound = False
 
 
 @dataclass

@@ -398,7 +398,9 @@ def _compile_expr_raw(interp, expr: ast.Expr,
         inner = _compile_expr(interp, expr.expr, scope, False)
         bounds = getattr(expr, "resolved_bounds", None) or (BOTTOM, TOP)
         snapshot_value = interp._snapshot_value
-        return lambda frame: snapshot_value(inner(frame), bounds, frame)
+        elide_bound = expr.elide_bound
+        return lambda frame: snapshot_value(inner(frame), bounds, frame,
+                                            elide_bound=elide_bound)
 
     if cls is ast.MCaseExpr:
         compiled = [(None if b.mode_name is None else Mode(b.mode_name),
@@ -587,6 +589,7 @@ def _compile_call(interp, expr: ast.MethodCall,
     invoke = interp._invoke
     span = expr.span
     inline = interp.options.inline_caches
+    elide_dfall = expr.elide_dfall
     #: Polymorphic inline cache: receiver class name -> (MethodInfo,
     #: selected argument codes).  Class infos are immutable for the
     #: lifetime of a run, so entries never need invalidation.
@@ -618,7 +621,8 @@ def _compile_call(interp, expr: ast.MethodCall,
             minfo, codes = entry
             args = [code(frame) for code in codes]
             return invoke(receiver, minfo, args, frame,
-                          self_call=self_call, span=span)
+                          self_call=self_call, span=span,
+                          elide_dfall=elide_dfall)
         args = [code(frame) for code in arg_codes]
         if isinstance(receiver, _NativeRef):
             return call_native_static(interp, receiver.name, name, args)

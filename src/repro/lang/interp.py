@@ -125,6 +125,12 @@ class InterpOptions:
     #: transparency tests can compare cached and uncached runs
     #: bit-for-bit.
     inline_caches: bool = True
+    #: Honour the ``elide_dfall`` / ``elide_bound`` annotations written
+    #: by :mod:`repro.analysis` (the elision planner).  A no-op unless
+    #: the planner ran over the AST; ignored under ``silent`` and
+    #: ``baseline`` (those builds change check semantics, so the
+    #: planner's facts no longer entail the guards).
+    elide_checks: bool = True
 
 
 @dataclass
@@ -132,10 +138,18 @@ class InterpStats:
     steps: int = 0
     messages: int = 0
     dfall_checks: int = 0
+    #: Dfall checks skipped because the planner proved them safe.
+    #: ``dfall_checks`` counts only *executed* checks; the sum of the
+    #: two is invariant under elision (the transparency tests rely on
+    #: this).
+    dfall_elided: int = 0
     snapshots: int = 0
     copies: int = 0
     lazy_tags: int = 0
     bound_checks: int = 0
+    #: Snapshot bound checks skipped by the planner (same split as
+    #: ``dfall_elided``).
+    bound_checks_elided: int = 0
     energy_exceptions: int = 0
     mcase_elims: int = 0
     objects_created: int = 0
@@ -301,6 +315,15 @@ class Interpreter:
         #: (one attribute load instead of two on the per-node paths).
         self._fuel = self.options.fuel
         self._compile_on = self.options.compile
+        # Planner-driven check elision, fixed at construction.  Off
+        # under silent (failed checks are *allowed* there, so snapshot
+        # facts are not enforced) and baseline (no checks exist to
+        # elide); the dfall variant additionally requires check_dfall.
+        opts = self.options
+        elide = (opts.elide_checks and not opts.silent
+                 and not opts.baseline)
+        self._elide_bound_on = elide
+        self._elide_dfall_on = elide and opts.check_dfall
 
     # ------------------------------------------------------------------
     # Entry point
@@ -562,7 +585,7 @@ class Interpreter:
 
     def _invoke(self, receiver: ObjectV, minfo: MethodInfo,
                 args: List[object], frame: _Frame, self_call: bool,
-                span) -> object:
+                span, elide_dfall: bool = False) -> object:
         self.stats.messages += 1
         # The receiver's mode environment is only copied when a method-
         # level binding extends it; bodies never mutate it.
@@ -595,8 +618,22 @@ class Interpreter:
         else:
             guard = receiver.effective_mode
             closure = guard if guard is not None else frame.current_mode
-        self._check_dfall(guard, frame.current_mode, self_call, receiver,
-                          minfo, span)
+        if elide_dfall and not self_call and self._elide_dfall_on:
+            # The planner proved this check always holds (see
+            # docs/ANALYSIS.md); skip it but keep the count so the
+            # transparency suite can fold executed + elided together.
+            self.stats.dfall_elided += 1
+            if self.tracer.enabled and guard is not None:
+                sender_mode = (frame.current_mode
+                               if frame.current_mode is not None else TOP)
+                self.tracer.emit(DfallCheckEvent(
+                    ts=self.tracer.now(), cls=receiver.class_info.name,
+                    method=minfo.name, receiver_mode=guard.name,
+                    sender_mode=sender_mode.name, holds=True,
+                    source="interp", elided=True))
+        else:
+            self._check_dfall(guard, frame.current_mode, self_call,
+                              receiver, minfo, span)
         traced = (self.tracer.enabled
                   and closure is not frame.current_mode)
         if traced:
@@ -1121,7 +1158,8 @@ class Interpreter:
                 else:
                     append(self._eval_leaf(arg_expr, frame))
             return self._invoke(receiver, minfo, args, frame,
-                                self_call=self_call, span=expr.span)
+                                self_call=self_call, span=expr.span,
+                                elide_dfall=expr.elide_dfall)
         args = [self._eval(a, frame) for a in expr.args]
         if isinstance(receiver, _NativeRef):
             return call_native_static(self, receiver.name, expr.name, args)
@@ -1215,10 +1253,11 @@ class Interpreter:
                        want_mcase) -> object:
         value = self._eval(expr.expr, frame)
         bounds = getattr(expr, "resolved_bounds", (BOTTOM, TOP))
-        return self._snapshot_value(value, bounds, frame)
+        return self._snapshot_value(value, bounds, frame,
+                                    elide_bound=expr.elide_bound)
 
     def _snapshot_value(self, value: object, bounds,
-                        frame: _Frame) -> object:
+                        frame: _Frame, elide_bound: bool = False) -> object:
         """Snapshot an already-evaluated value against ``(lo, hi)`` bound
         atoms (shared with the compiler)."""
         if not isinstance(value, ObjectV):
@@ -1245,19 +1284,37 @@ class Interpreter:
             if first.var is not None:
                 value.mode_env[first.var] = mode
             return value
-        lower = self._resolve_atom(bounds[0], frame)
-        upper = self._resolve_atom(bounds[1], frame)
-        # An unresolvable bound variable degrades to the loosest bound.
-        lower = lower if lower is not None else BOTTOM
-        upper = upper if upper is not None else TOP
-        self.stats.bound_checks += 1
-        ok = self.lattice.leq(lower, mode) and self.lattice.leq(mode, upper)
+        elided = elide_bound and self._elide_bound_on
+        if elided:
+            # The planner proved the bound check vacuous or entailed by
+            # the attributor's possible modes (see docs/ANALYSIS.md);
+            # the bounds are then always concrete, so resolution is only
+            # needed when something observes them.
+            self.stats.bound_checks_elided += 1
+            ok = True
+            if traced or self.on_snapshot is not None:
+                lower = self._resolve_atom(bounds[0], frame)
+                upper = self._resolve_atom(bounds[1], frame)
+                lower = lower if lower is not None else BOTTOM
+                upper = upper if upper is not None else TOP
+            else:
+                lower, upper = BOTTOM, TOP
+        else:
+            lower = self._resolve_atom(bounds[0], frame)
+            upper = self._resolve_atom(bounds[1], frame)
+            # An unresolvable bound variable degrades to the loosest
+            # bound.
+            lower = lower if lower is not None else BOTTOM
+            upper = upper if upper is not None else TOP
+            self.stats.bound_checks += 1
+            ok = (self.lattice.leq(lower, mode)
+                  and self.lattice.leq(mode, upper))
         if traced:
             self.tracer.emit(SnapshotEvent(
                 ts=self.tracer.now(), cls=value.class_info.name,
                 mode=mode.name, lower=lower.name, upper=upper.name, ok=ok,
                 lazy=ok and self.options.lazy_copy and not value.is_snapshot,
-                source="interp"))
+                source="interp", bound_elided=elided))
         if self.on_snapshot is not None:
             self.on_snapshot(value, mode, lower, upper, ok)
         if not ok and not self.options.silent:
@@ -1449,13 +1506,20 @@ _STMT_DISPATCH = {
 def run_source(source: str, args: Optional[List[str]] = None,
                platform=None, options: Optional[InterpOptions] = None,
                seed: int = 0, strict_mcase_coverage: bool = True,
-               tracer=None):
+               tracer=None, elide: bool = False):
     """Parse, typecheck and run an ENT program; returns the interpreter
-    (inspect ``.output``, ``.stats``, and the returned value)."""
+    (inspect ``.output``, ``.stats``, and the returned value).
+
+    ``elide=True`` additionally runs the :mod:`repro.analysis` elision
+    planner over the checked program, so proven-safe dynamic checks are
+    skipped (subject to ``options.elide_checks``)."""
     from repro.lang.typechecker import check_program
 
     checked = check_program(source,
                             strict_mcase_coverage=strict_mcase_coverage)
+    if elide:
+        from repro.analysis import plan_elisions
+        plan_elisions(checked)
     interp = Interpreter(checked, platform=platform, options=options,
                          seed=seed, tracer=tracer)
     result = interp.run(args)

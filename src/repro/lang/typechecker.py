@@ -904,6 +904,10 @@ class TypeChecker:
                                      f"argument to {expr.name!r}")
         self._check_msg_waterfall(expr, receiver_type, minfo, full_subst,
                                   scope, self_call)
+        # Annotations for repro.analysis (see ast_nodes.MethodCall).
+        expr.resolved_receiver_type = receiver_type
+        expr.resolved_minfo = minfo
+        expr.resolved_self_call = self_call
         return minfo.return_type.substitute(full_subst)
 
     def _infer_method_mode(self, minfo: MethodInfo,
@@ -1153,6 +1157,7 @@ class TypeChecker:
             [(lower, fresh), (fresh, upper)])
         expr.resolved_bounds = (lower, upper)
         expr.opened_var = fresh
+        expr.resolved_class_name = source.class_name
         return ObjectType(source.class_name,
                           (fresh,) + source.mode_args[1:])
 

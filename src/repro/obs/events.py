@@ -75,6 +75,9 @@ class SnapshotEvent(TraceEvent):
     lazy: bool
     #: "embedded" (Python API) or "interp" (ENT language).
     source: str = "embedded"
+    #: True when repro.analysis proved the bound check safe and the
+    #: runtime skipped it (``ok`` is then vacuously True).
+    bound_elided: bool = False
 
 
 @dataclass
@@ -100,6 +103,9 @@ class DfallCheckEvent(TraceEvent):
     sender_mode: Optional[str]
     holds: bool
     source: str = "embedded"
+    #: True when repro.analysis proved the check safe and the runtime
+    #: skipped it (``holds`` is then vacuously True).
+    elided: bool = False
 
 
 @dataclass

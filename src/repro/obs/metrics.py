@@ -225,11 +225,20 @@ def trace_metrics(events: Sequence[TraceEvent]) -> MetricsRegistry:
         elif event.kind == "dfall_check":
             registry.counter(
                 "dfall.ok" if event.holds else "dfall.violation").inc()
+            # checks-executed vs checks-elided (repro.analysis planner).
+            if getattr(event, "elided", False):
+                registry.counter("dfall.elided").inc()
+            else:
+                registry.counter("dfall.executed").inc()
         elif event.kind == "snapshot":
             registry.counter(
                 "snapshot.lazy" if event.lazy else "snapshot.copy").inc()
             if not event.ok:
                 registry.counter("snapshot.bad_check").inc()
+            if getattr(event, "bound_elided", False):
+                registry.counter("snapshot.bound_elided").inc()
+            else:
+                registry.counter("snapshot.bound_executed").inc()
         elif event.kind == "platform_read":
             registry.counter(f"platform_read.{event.signal}").inc()
         elif isinstance(event, Span):

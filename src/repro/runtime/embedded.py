@@ -69,6 +69,12 @@ class RuntimeStats:
 
     messages: int = 0
     dfall_checks: int = 0
+    #: Dfall checks answered from the verdict memo instead of a fresh
+    #: lattice comparison.  The memo is the embedded runtime's dynamic
+    #: fallback for check elision: the ENT-language planner proves
+    #: checks away statically, while the embedded API (no static
+    #: types) amortizes repeated (guard, sender) verdicts at run time.
+    dfall_memo_hits: int = 0
     snapshots: int = 0
     copies: int = 0
     lazy_tags: int = 0
@@ -306,6 +312,8 @@ class EntRuntime:
         if holds is None:
             holds = self.lattice.leq(guard, sender)
             self._dfall_cache[key] = holds
+        else:
+            self.stats.dfall_memo_hits += 1
         if self.tracer.enabled:
             self.tracer.emit(DfallCheckEvent(
                 ts=self.tracer.now(), cls=type(obj).__name__,

@@ -11,7 +11,12 @@ machinery.  It analyzes a module's source with :mod:`ast` and reports:
   "cannot message an object of dynamic mode; snapshot it first").
 * **E002 static waterfall violation** — inside ``with rt.booted("m")``
   blocks with a literal mode, messaging a variable bound to a
-  ``@rt.static("m2")`` instance with ``m2 > m``.
+  ``@rt.static("m2")`` instance where ``m2 <= m`` does not hold in the
+  module's mode lattice.  The lattice is recovered from the source
+  (``EntRuntime.standard()``, ``EntRuntime.thermal()``,
+  ``ModeLattice.linear([...])`` with literal names), so the check
+  works for any declared lattice; without a recognizable declaration
+  the two built-in lattices are assumed.
 * **E003 unused snapshot** — a ``rt.snapshot(...)`` result that is
   discarded (the tagged copy is lost; the original stays dynamic).
 * **W101 snapshot-unbounded in bounded context** — a snapshot without
@@ -31,11 +36,9 @@ import ast as pyast
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["LintFinding", "lint_source", "lint_file"]
+from repro.core.modes import Mode, ModeLattice
 
-#: Mode order used when both endpoints are literal standard modes.
-_MODE_ORDER = {"energy_saver": 0, "managed": 1, "full_throttle": 2,
-               "overheating": 0, "hot": 1, "safe": 2}
+__all__ = ["LintFinding", "lint_source", "lint_file"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +49,60 @@ class LintFinding:
 
     def __str__(self) -> str:
         return f"{self.line}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"code": self.code, "line": self.line,
+                "message": self.message}
+
+
+def _literal_strings(node: pyast.expr) -> Optional[List[str]]:
+    if isinstance(node, (pyast.List, pyast.Tuple)):
+        out: List[str] = []
+        for element in node.elts:
+            if isinstance(element, pyast.Constant) and \
+                    isinstance(element.value, str):
+                out.append(element.value)
+            else:
+                return None
+        return out if out else None
+    return None
+
+
+def _fallback_lattices() -> List[ModeLattice]:
+    from repro.runtime.embedded import STANDARD_MODES, THERMAL_MODES
+    return [ModeLattice.linear(list(STANDARD_MODES)),
+            ModeLattice.linear(list(THERMAL_MODES))]
+
+
+def _detect_lattices(tree: pyast.AST) -> List[ModeLattice]:
+    """Recover the mode lattice(s) the module declares.
+
+    Recognizes ``EntRuntime.standard()`` / ``EntRuntime.thermal()`` and
+    literal ``ModeLattice.linear([...])`` expressions.  Falls back to
+    the two built-in lattices when nothing is recognizable, keeping the
+    lint useful on partial files.
+    """
+    lattices: List[ModeLattice] = []
+    for node in pyast.walk(tree):
+        if not isinstance(node, pyast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, pyast.Attribute)
+                and isinstance(func.value, pyast.Name)):
+            continue
+        owner = func.value.id
+        if owner == "EntRuntime" and func.attr in ("standard", "thermal"):
+            from repro.runtime.embedded import (STANDARD_MODES,
+                                                THERMAL_MODES)
+            names = (STANDARD_MODES if func.attr == "standard"
+                     else THERMAL_MODES)
+            lattices.append(ModeLattice.linear(list(names)))
+        elif owner == "ModeLattice" and func.attr == "linear" \
+                and node.args:
+            names = _literal_strings(node.args[0])
+            if names is not None:
+                lattices.append(ModeLattice.linear(names))
+    return lattices if lattices else _fallback_lattices()
 
 
 def _decorator_kind(node: pyast.ClassDef) -> Tuple[Optional[str],
@@ -105,9 +162,12 @@ class _FunctionLinter(pyast.NodeVisitor):
     """Intraprocedural abstract interpretation of variable states."""
 
     def __init__(self, classes: Dict[str, Tuple[str, Optional[str]]],
-                 findings: List[LintFinding]) -> None:
+                 findings: List[LintFinding],
+                 lattices: Optional[List[ModeLattice]] = None) -> None:
         self.classes = classes
         self.findings = findings
+        self.lattices = lattices if lattices is not None \
+            else _fallback_lattices()
         #: var -> ("dynamic" | "snapshotted" | ("static", mode))
         self.state: Dict[str, object] = {}
         #: (inside a booted block?, literal boot mode if known)
@@ -126,6 +186,22 @@ class _FunctionLinter(pyast.NodeVisitor):
 
     def _report(self, code: str, node: pyast.AST, message: str) -> None:
         self.findings.append(LintFinding(code, node.lineno, message))
+
+    def _violates_waterfall(self, mode: str, boot: str) -> bool:
+        """Does messaging a static-``mode`` object from a ``boot``-mode
+        block violate the waterfall (``mode <= boot`` fails)?
+
+        Decided against every detected lattice that declares both
+        modes; undecidable pairs (unknown modes) never report.
+        """
+        decided = False
+        a, b = Mode(mode), Mode(boot)
+        for lattice in self.lattices:
+            if a in lattice and b in lattice:
+                if lattice.leq(a, b):
+                    return False
+                decided = True
+        return decided
 
     # -- assignments ----------------------------------------------------
 
@@ -182,9 +258,8 @@ class _FunctionLinter(pyast.NodeVisitor):
             elif (isinstance(state, tuple) and state[0] == "static"
                   and state[1] is not None):
                 boot = self.boot_stack[-1][1]
-                if boot is not None and boot in _MODE_ORDER and \
-                        state[1] in _MODE_ORDER and \
-                        _MODE_ORDER[state[1]] > _MODE_ORDER[boot]:
+                if boot is not None and \
+                        self._violates_waterfall(state[1], boot):
                     self._report(
                         "E002", node,
                         f"waterfall violation: {receiver!r} has static "
@@ -229,7 +304,8 @@ class _FunctionLinter(pyast.NodeVisitor):
 
     def visit_FunctionDef(self, node: pyast.FunctionDef) -> None:
         # Nested functions get a fresh scope.
-        nested = _FunctionLinter(self.classes, self.findings)
+        nested = _FunctionLinter(self.classes, self.findings,
+                                 self.lattices)
         for stmt in node.body:
             nested.visit(stmt)
 
@@ -252,7 +328,8 @@ def lint_source(source: str,
             if kind is not None:
                 classes[node.name] = (kind, mode)
     findings: List[LintFinding] = []
-    linter = _FunctionLinter(classes, findings)
+    linter = _FunctionLinter(classes, findings,
+                             _detect_lattices(tree))
     for stmt in tree.body:
         linter.visit(stmt)
     findings.sort(key=lambda f: (f.line, f.code))

@@ -1,0 +1,455 @@
+"""Unit tests for the repro.analysis subsystem.
+
+Covers the dataflow transfer functions (on hand-built ASTs and pure
+fact algebra), the obligation pass's classifications — including every
+must-NOT-elide case (variable-bound snapshots, mode-variable receivers,
+method-attributor re-evaluation, subclass attributors widening the
+hull) — the planner annotations, the report, and the CLI surface.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import (ELIDED, RESIDUAL, STATIC, DFALL,
+                            SNAPSHOT_BOUND, MCASE_ELIM, ModeFact,
+                            analyze_program, plan_elisions)
+from repro.analysis.modeflow import (hull_fact, join_envs, join_facts,
+                                     refine)
+from repro.analysis.obligations import ProgramAnalyzer
+from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
+from repro.lang import ast_nodes as ast
+from repro.lang.typechecker import check_program
+from repro.lang.types import ObjectType
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+MODES = "modes { energy_saver <= managed; managed <= full_throttle; }\n"
+ES, MA, FT = (Mode("energy_saver"), Mode("managed"),
+              Mode("full_throttle"))
+LATTICE = ModeLattice.linear(
+    ["energy_saver", "managed", "full_throttle"])
+
+
+def sites_of(body, kind=None):
+    report = analyze_program(check_program(MODES + body))
+    return [s for s in report.sites
+            if kind is None or s.kind == kind]
+
+
+# ---------------------------------------------------------------------------
+# Fact algebra (the dataflow domain)
+
+
+def test_join_facts_widens_to_cover_both():
+    a = ModeFact.exact(ES)
+    b = ModeFact.exact(FT)
+    assert join_facts(a, b, LATTICE) == ModeFact(ES, FT)
+
+
+def test_join_facts_none_absorbs():
+    assert join_facts(None, ModeFact.exact(MA), LATTICE) is None
+    assert join_facts(ModeFact.exact(MA), None, LATTICE) is None
+
+
+def test_join_envs_keeps_only_common_variables():
+    a = {"x": ModeFact.exact(ES), "y": ModeFact.exact(MA)}
+    b = {"x": ModeFact.exact(MA)}
+    merged = join_envs(a, b, LATTICE)
+    assert merged == {"x": ModeFact(ES, MA)}
+
+
+def test_refine_tightens_intersection():
+    wide = ModeFact(BOTTOM, TOP)
+    hull = ModeFact(MA, FT)
+    assert refine(wide, hull, LATTICE) == ModeFact(MA, FT)
+    tight = refine(ModeFact(BOTTOM, ES), ModeFact(ES, FT), LATTICE)
+    assert tight == ModeFact.exact(ES)
+
+
+def test_hull_fact_spans_the_mode_set():
+    assert hull_fact(frozenset({ES, FT}), LATTICE) == ModeFact(ES, FT)
+    assert hull_fact(frozenset({MA}), LATTICE) == ModeFact.exact(MA)
+
+
+# ---------------------------------------------------------------------------
+# Statement transfer functions on hand-built ASTs
+
+
+def _analyzer():
+    checked = check_program(MODES + """
+class C@mode<?X> { attributor { return managed; } C() { } }
+class Main { void main() { } }
+""")
+    return ProgramAnalyzer(checked)
+
+
+def _local(name):
+    var = ast.Var(name=name)
+    var.resolved_kind = "local"
+    return var
+
+
+def _new_at(mode):
+    node = ast.New(class_name="C")
+    node.resolved_type = ObjectType("C", (mode,))
+    return node
+
+
+def test_if_transfer_joins_branch_facts():
+    analyzer = _analyzer()
+    env = {}
+    stmt = ast.If(
+        cond=ast.BoolLit(),
+        then=ast.Block(stmts=[
+            ast.Assign(target=_local("x"), value=_new_at(ES))]),
+        otherwise=ast.Block(stmts=[
+            ast.Assign(target=_local("x"), value=_new_at(FT))]))
+    analyzer._visit_stmt(stmt, env)
+    assert env["x"] == ModeFact(ES, FT)
+
+
+def test_if_transfer_drops_one_sided_facts():
+    analyzer = _analyzer()
+    env = {}
+    stmt = ast.If(
+        cond=ast.BoolLit(),
+        then=ast.Block(stmts=[
+            ast.Assign(target=_local("x"), value=_new_at(ES))]))
+    analyzer._visit_stmt(stmt, env)
+    assert "x" not in env
+
+
+def test_while_transfer_invalidates_loop_assigned_locals():
+    analyzer = _analyzer()
+    env = {"x": ModeFact.exact(MA), "y": ModeFact.exact(ES)}
+    stmt = ast.While(
+        cond=ast.BoolLit(),
+        body=ast.Block(stmts=[
+            ast.Assign(target=_local("x"), value=ast.NullLit())]))
+    analyzer._visit_stmt(stmt, env)
+    assert "x" not in env
+    assert env["y"] == ModeFact.exact(ES)
+
+
+def test_trycatch_transfer_drops_body_assigned_facts():
+    analyzer = _analyzer()
+    env = {"kept": ModeFact.exact(MA)}
+    stmt = ast.TryCatch(
+        body=ast.Block(stmts=[
+            ast.Assign(target=_local("x"), value=_new_at(FT))]),
+        exc_class="EnergyException", exc_var="e",
+        handler=ast.Block(stmts=[]))
+    analyzer._visit_stmt(stmt, env)
+    # x is only bound on the no-throw path; the entry fact survives.
+    assert "x" not in env
+    assert env["kept"] == ModeFact.exact(MA)
+
+
+def test_local_decl_and_overwrite():
+    analyzer = _analyzer()
+    env = {}
+    analyzer._visit_stmt(
+        ast.LocalVarDecl(name="x", init=_new_at(MA)), env)
+    assert env["x"] == ModeFact.exact(MA)
+    analyzer._visit_stmt(
+        ast.Assign(target=_local("x"), value=ast.NullLit()), env)
+    assert "x" not in env
+
+
+# ---------------------------------------------------------------------------
+# Obligation pass: elidable cases
+
+
+def test_snapshot_vacuous_bounds_elided_and_dfall_from_hull():
+    sites = sites_of("""
+class C@mode<?X> {
+    attributor { return managed; }
+    C() { }
+    int work() { return 1; }
+}
+class Main {
+    void main() {
+        C c = snapshot (new C@mode<?>());
+        Sys.print(c.work());
+    }
+}
+""")
+    bounds = [s for s in sites if s.kind == SNAPSHOT_BOUND]
+    dfalls = [s for s in sites if s.kind == DFALL]
+    assert [s.status for s in bounds] == [ELIDED]
+    assert "vacuous" in bounds[0].reason
+    assert [s.status for s in dfalls] == [ELIDED]
+
+
+def test_snapshot_tight_bounds_elided_via_attributor_hull():
+    sites = sites_of("""
+class C@mode<?X> {
+    attributor { return managed; }
+    C() { }
+}
+class Main {
+    void main() {
+        C c = snapshot (new C@mode<?>()) [managed, managed];
+        Sys.print(1);
+    }
+}
+""", SNAPSHOT_BOUND)
+    assert [s.status for s in sites] == [ELIDED]
+    assert "managed" in sites[0].reason
+
+
+def test_concrete_construction_gives_exact_fact():
+    sites = sites_of("""
+class C@mode<full_throttle> {
+    int work() { return 1; }
+}
+class Main {
+    void main() {
+        C c = new C();
+        Sys.print(c.work());
+    }
+}
+""", DFALL)
+    assert [s.status for s in sites] == [ELIDED]
+
+
+def test_self_call_is_static():
+    sites = sites_of("""
+class C@mode<?X> {
+    attributor { return managed; }
+    C() { }
+    int a() { return b(); }
+    int b() { return 1; }
+}
+class Main { void main() { } }
+""", DFALL)
+    assert [s.status for s in sites] == [STATIC]
+    assert "self message" in sites[0].reason
+
+
+# ---------------------------------------------------------------------------
+# Obligation pass: must-NOT-elide cases
+
+
+def test_variable_bound_snapshot_and_downstream_dfall_residual():
+    # The crawler pattern: inside a dynamic-class method the sender
+    # mode is unknown and the snapshot bound is a mode variable — both
+    # the bound check and the downstream message must stay dynamic.
+    sites = sites_of("""
+class S@mode<?X> {
+    int n;
+    attributor {
+        if (n > 10) { return full_throttle; }
+        return energy_saver;
+    }
+    S(int n) { this.n = n; }
+    int crawl() { return n; }
+}
+class A@mode<?X> {
+    attributor { return managed; }
+    A() { }
+    int work(int k) {
+        S s = snapshot (new S@mode<?>(k)) [_, X];
+        return s.crawl();
+    }
+}
+class Main { void main() { } }
+""")
+    bound = [s for s in sites if s.kind == SNAPSHOT_BOUND][0]
+    assert bound.status == RESIDUAL
+    assert "mode variable" in bound.reason
+    crawl = [s for s in sites
+             if s.kind == DFALL and "S.crawl" in s.description][0]
+    assert crawl.status == RESIDUAL
+
+
+def test_mode_variable_receiver_residual():
+    sites = sites_of("""
+class Engine@mode<?X> {
+    attributor { return managed; }
+    Engine() { }
+    int run() { return 3; }
+}
+class Car@mode<?X> {
+    Engine@mode<X> engine;
+    attributor { return managed; }
+    Car(Engine@mode<X> e) { this.engine = e; }
+    int drive() { return engine.run(); }
+}
+class Main { void main() { } }
+""", DFALL)
+    drive = [s for s in sites if "Engine.run" in s.description][0]
+    assert drive.status == RESIDUAL
+    assert "mode-variable receiver" in drive.reason
+
+
+def test_method_attributor_call_residual():
+    sites = sites_of("""
+class S@mode<?X> {
+    attributor { return energy_saver; }
+    S() { }
+    @mode<?Y> int save()
+    attributor { return managed; }
+    { return 2; }
+}
+class Main {
+    void main() {
+        S s = snapshot (new S@mode<?>());
+        Sys.print(s.save());
+    }
+}
+""", DFALL)
+    save = [s for s in sites if "S.save" in s.description][0]
+    assert save.status == RESIDUAL
+    assert "attributor re-evaluates" in save.reason
+
+
+def test_subclass_attributor_widens_hull_blocking_bound_elision():
+    source = """
+class B@mode<?X> {
+    attributor { return energy_saver; }
+    B() { }
+    int id() { return 0; }
+}
+class Wide@mode<?Y> extends B {
+    attributor { return full_throttle; }
+    Wide() { }
+}
+class Main {
+    void main() {
+        B b = snapshot (new B@mode<?>()) [_, energy_saver];
+        Sys.print(b.id());
+    }
+}
+"""
+    sites = sites_of(source, SNAPSHOT_BOUND)
+    assert [s.status for s in sites] == [RESIDUAL]
+    assert "outside the bounds" in sites[0].reason
+    # Positive control: without the subclass the same snapshot elides.
+    control = sites_of(source.replace(
+        """class Wide@mode<?Y> extends B {
+    attributor { return full_throttle; }
+    Wide() { }
+}
+""", ""), SNAPSHOT_BOUND)
+    assert [s.status for s in control] == [ELIDED]
+
+
+def test_mcase_elimination_always_residual():
+    sites = sites_of("""
+class C@mode<?X> {
+    attributor { return managed; }
+    C() { }
+    mcase<int> factor = mcase{
+        energy_saver: 1; managed: 2; full_throttle: 4;
+    };
+    int work() { return factor; }
+}
+class Main { void main() { } }
+""", MCASE_ELIM)
+    assert sites
+    assert all(s.status == RESIDUAL for s in sites)
+
+
+# ---------------------------------------------------------------------------
+# Examples, planner, report, CLI
+
+
+EXAMPLES = sorted((ROOT / "examples" / "ent").glob("*.ent"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_every_example_has_a_provable_elision(path):
+    report = analyze_program(check_program(path.read_text()),
+                             file=path.name)
+    assert report.counts[ELIDED] >= 1, report.render()
+
+
+def test_plan_elisions_annotates_the_ast():
+    checked = check_program(MODES + """
+class C@mode<?X> {
+    attributor { return managed; }
+    C() { }
+    int work() { return 1; }
+}
+class Main {
+    void main() {
+        C c = snapshot (new C@mode<?>());
+        Sys.print(c.work());
+    }
+}
+""")
+    report = plan_elisions(checked)
+    elided = report.elided_sites()
+    assert elided
+    for site in elided:
+        if site.kind == DFALL:
+            assert site.node.elide_dfall is True
+        elif site.kind == SNAPSHOT_BOUND:
+            assert site.node.elide_bound is True
+
+
+def test_report_counts_and_serialization():
+    path = EXAMPLES[0]
+    report = analyze_program(check_program(path.read_text()),
+                             file=path.name)
+    payload = report.as_dict()
+    assert payload["file"] == path.name
+    assert set(payload["counts"]) == {STATIC, ELIDED, RESIDUAL}
+    assert sum(payload["counts"].values()) == len(report.sites)
+    for check in payload["checks"]:
+        assert set(check) == {"kind", "context", "description",
+                              "status", "reason", "line", "column"}
+    # by_kind totals must agree with the flat counts.
+    totals = {status: 0 for status in (STATIC, ELIDED, RESIDUAL)}
+    for bucket in payload["by_kind"].values():
+        for status, count in bucket.items():
+            totals[status] += count
+    assert totals == payload["counts"]
+    assert "check site" in report.render()
+
+
+def test_cli_analyze_json(capsys):
+    from repro.cli import main
+
+    rc = main(["analyze", str(EXAMPLES[0]), "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"][ELIDED] >= 1
+
+
+def test_cli_analyze_embedded_json(tmp_path, capsys):
+    from repro.cli import main
+
+    target = tmp_path / "prog.py"
+    target.write_text("""
+from repro.core.modes import ModeLattice
+from repro.runtime.embedded import EntRuntime
+rt = EntRuntime(ModeLattice.linear(["low", "mid", "high"]))
+
+@rt.static("high")
+class Burner:
+    def go(self):
+        pass
+
+def main():
+    b = Burner()
+    with rt.booted("mid"):
+        b.go()
+""")
+    rc = main(["analyze", "--embedded", str(target), "--json"])
+    assert rc == 1  # E002 is an error finding
+    payload = json.loads(capsys.readouterr().out)
+    codes = [f["code"] for f in payload["findings"]]
+    assert codes == ["E002"]
+
+
+def test_cli_run_no_elide_matches_default(capsys):
+    from repro.cli import main
+
+    path = str(ROOT / "examples" / "ent" / "coadapt.ent")
+    assert main(["run", path]) == 0
+    default_out = capsys.readouterr().out
+    assert main(["run", path, "--no-elide"]) == 0
+    assert capsys.readouterr().out == default_out
