@@ -1,12 +1,18 @@
 """The elision planner: turn ``elided`` verdicts into AST annotations.
 
-The interpreter and compiler read two per-node flags (class-level
-defaults on the AST nodes, following the ``resolved_kind`` idiom):
+The execution engines read two per-node flags (class-level defaults
+on the AST nodes, following the ``resolved_kind`` idiom):
 
 * ``MethodCall.elide_dfall`` — skip the dynamic waterfall check in
   ``Interpreter._invoke``;
 * ``Snapshot.elide_bound`` — skip the bound check in
   ``Interpreter._snapshot_value``.
+
+The register-bytecode VM consumes the same flags at lowering time by
+**opcode selection**: an annotated call lowers to ``CALL_NODFALL``
+instead of ``CALL_DFALL``, an annotated snapshot to
+``SNAPSHOT_ELIDE`` — the elided check never enters the instruction
+stream (``repro disasm`` shows the handoff; see ``docs/VM.md``).
 
 Both flags are inert unless ``InterpOptions.elide_checks`` is on and
 the run is neither ``silent`` nor ``baseline`` (those options change

@@ -6,6 +6,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro run    program.ent [args]   # typecheck + run
     python -m repro analyze program.ent         # residual-check report
     python -m repro analyze --embedded prog.py  # lint embedded-API code
+    python -m repro disasm program.ent          # register bytecode
     python -m repro pretty program.ent          # parse + pretty-print
     python -m repro tokens program.ent          # lex only
     python -m repro obs report trace.jsonl      # analyse a trace
@@ -22,6 +23,12 @@ Usage (installed as ``python -m repro``)::
     --seed N        RNG / platform seed
     --stats         print run statistics as one JSON object (stderr)
     --no-elide      keep every dynamic check (disable repro.analysis)
+    --engine E      execution engine: walk, compiled or vm (docs/VM.md)
+
+``disasm`` lowers a program to the VM's register bytecode and
+pretty-prints every body with check-instruction annotations; with the
+elision planner on (the default), proven-safe checks appear as their
+elided opcodes.
 
 ``analyze`` runs the static-analysis subsystem (``repro.analysis``)
 and prints one line per dynamic-check obligation — elided checks are
@@ -51,6 +58,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.errors import EnergyException, EntError
+from repro.lang.engines import ENGINES, resolve_engine
 from repro.lang.interp import Interpreter, InterpOptions
 from repro.lang.lexer import tokenize
 from repro.lang.parser import parse_program
@@ -79,8 +87,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable runtime tagging (Fig 6 baseline)")
     run.add_argument("--eager-copy", action="store_true",
                      help="disable the lazy-copy optimization")
+    run.add_argument("--engine", choices=list(ENGINES), default=None,
+                     help="execution engine: walk (reference, default), "
+                          "compiled (closure compiler) or vm (register "
+                          "bytecode, fastest) — see docs/VM.md")
     run.add_argument("--compile", action="store_true",
-                     help="closure-compile bodies (faster hot loops)")
+                     help="deprecated alias for --engine compiled")
     run.add_argument("--no-inline-caches", action="store_true",
                      help="disable the run-time caches (method tables, "
                           "call-site ICs, dfall memo); semantics are "
@@ -132,6 +144,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "convert", help="convert a JSONL trace to Chrome trace_event")
     obs_convert.add_argument("trace", help="a JSONL trace file")
     obs_convert.add_argument("output", help="Chrome trace JSON to write")
+
+    disasm = sub.add_parser(
+        "disasm",
+        help="lower to register bytecode and pretty-print it")
+    disasm.add_argument("file")
+    disasm.add_argument("--no-elide", action="store_true",
+                        help="show the bytecode with every dynamic "
+                             "check (skip the elision planner)")
+    disasm.add_argument("--lenient-mcase", action="store_true",
+                        help="do not require full mode-case coverage")
 
     pretty = sub.add_parser("pretty", help="parse and pretty-print")
     pretty.add_argument("file")
@@ -186,9 +208,10 @@ def _cmd_run(args) -> int:
     if not args.no_elide:
         from repro.analysis import plan_elisions
         plan_elisions(checked)
+    engine = resolve_engine(args.engine, compile_flag=args.compile)
     options = InterpOptions(silent=args.silent, baseline=args.baseline,
                             lazy_copy=not args.eager_copy,
-                            fuel=args.fuel, compile=args.compile,
+                            fuel=args.fuel, engine=engine,
                             inline_caches=not args.no_inline_caches,
                             elide_checks=not args.no_elide)
     interp = Interpreter(checked, platform=platform, options=options,
@@ -276,6 +299,51 @@ def _cmd_obs(args) -> int:
     raise EntError(f"unknown obs command {args.obs_command!r}")
 
 
+def _cmd_disasm(args) -> int:
+    """Lower every body to register bytecode and pretty-print it.
+
+    Bodies appear in program order; check instructions carry ``;;``
+    annotations, and checks the planner proved away are lowered to
+    their ``*_NODFALL`` / ``*_ELIDE`` forms (compare with and without
+    ``--no-elide`` to see the handoff).
+    """
+    from repro.lang.bytecode import disassemble
+
+    source = _read(args.file)
+    checked = check_program(source,
+                            strict_mcase_coverage=not args.lenient_mcase)
+    if not args.no_elide:
+        from repro.analysis import plan_elisions
+        plan_elisions(checked)
+    interp = Interpreter(
+        checked,
+        options=InterpOptions(engine="vm",
+                              elide_checks=not args.no_elide))
+    vm = interp._vm
+    chunks = []
+    for cls in checked.program.classes:
+        info = interp.table.get(cls.name)
+        if cls.constructor is not None:
+            ctor = cls.constructor
+            chunks.append(disassemble(vm._lower(
+                ctor.body, [p.name for p in ctor.params], (),
+                f"{cls.name}.<init>")))
+        if cls.attributor is not None:
+            chunks.append(disassemble(vm._lower(
+                cls.attributor.body, [], (),
+                f"{cls.name}.<attributor>")))
+        for method in cls.methods:
+            minfo = interp._find_method(info, method.name)
+            chunks.append(disassemble(vm.code_for_method(minfo)))
+            if method.attributor is not None:
+                chunks.append(disassemble(vm._lower(
+                    method.attributor.body, minfo.param_names,
+                    interp._wants_for(minfo),
+                    f"{cls.name}.{method.name}.<attributor>")))
+    print("\n\n".join(chunks))
+    return 0
+
+
 def _cmd_pretty(args) -> int:
     print(pretty_program(parse_program(_read(args.file))), end="")
     return 0
@@ -310,6 +378,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "analyze": _cmd_analyze,
     "obs": _cmd_obs,
+    "disasm": _cmd_disasm,
     "pretty": _cmd_pretty,
     "tokens": _cmd_tokens,
     "lint": _cmd_lint,
@@ -327,6 +396,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except EntError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout closed early (e.g. ``repro disasm ... | head``).
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

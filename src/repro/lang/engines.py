@@ -1,0 +1,40 @@
+"""Execution-engine registry for the ENT interpreter.
+
+Three engines execute typechecked programs with identical observable
+behaviour (output, stats, exceptions — everything except ``steps``):
+
+``walk``
+    The reference tree-walking interpreter.  Slowest; easiest to audit
+    against the paper's semantics.
+``compiled``
+    The closure compiler (PR 3): bodies are pre-compiled to nested
+    Python closures.
+``vm``
+    The register-bytecode VM (``repro.lang.bytecode`` +
+    ``repro.lang.vm``).  Fastest; dynamic checks are explicit, counted
+    instructions.  See ``docs/VM.md``.
+
+``resolve_engine`` is the single place the deprecated ``--compile``
+boolean is folded into the engine choice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+ENGINES = ("walk", "compiled", "vm")
+
+DEFAULT_ENGINE = "walk"
+
+
+def resolve_engine(engine: Optional[str] = None,
+                   compile_flag: bool = False) -> str:
+    """Pick the engine: an explicit ``engine`` wins, the legacy
+    ``compile_flag`` maps to ``compiled``, otherwise the default."""
+    if engine is not None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} "
+                f"(expected one of {', '.join(ENGINES)})")
+        return engine
+    return "compiled" if compile_flag else DEFAULT_ENGINE

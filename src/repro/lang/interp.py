@@ -131,6 +131,13 @@ class InterpOptions:
     #: ``baseline`` (those builds change check semantics, so the
     #: planner's facts no longer entail the guards).
     elide_checks: bool = True
+    #: Execution engine: ``"walk"`` (tree walk), ``"compiled"``
+    #: (closure compiler) or ``"vm"`` (register bytecode; see
+    #: ``docs/VM.md``).  ``None`` defers to the legacy ``compile`` flag
+    #: (``True`` -> compiled, ``False`` -> walk).  All three engines are
+    #: observably identical up to ``steps``; the differential suite in
+    #: ``tests/property/test_vm_agreement.py`` enforces it.
+    engine: Optional[str] = None
 
 
 @dataclass
@@ -160,6 +167,12 @@ class InterpStats:
     def reset(self) -> None:
         for f in field_list(self):
             setattr(self, f.name, f.default)
+
+
+#: Sentinel distinguishing "the body fell off the end" from an explicit
+#: ``return`` of any value (including ``None``) — attributor error
+#: messages depend on the difference.
+_NO_RETURN = object()
 
 
 class _NativeRef:
@@ -314,7 +327,19 @@ class Interpreter:
         #: Divergence bound and engine selection, fixed at construction
         #: (one attribute load instead of two on the per-node paths).
         self._fuel = self.options.fuel
-        self._compile_on = self.options.compile
+        from repro.lang.engines import resolve_engine
+        self.engine = engine = resolve_engine(
+            self.options.engine, compile_flag=self.options.compile)
+        self._compile_on = engine == "compiled"
+        self._vm = None
+        if engine == "vm":
+            from repro.lang.vm import VM
+            self._vm = VM(self)
+            self._call_body = self._vm.call_body
+        elif engine == "compiled":
+            self._call_body = self._call_body_compiled
+        else:
+            self._call_body = self._call_body_walk
         # Planner-driven check elision, fixed at construction.  Off
         # under silent (failed checks are *allowed* there, so snapshot
         # facts are not enforced) and baseline (no checks exist to
@@ -566,18 +591,9 @@ class Interpreter:
         else:
             ctor_frame = _Frame(this_obj=obj, mode_env=env,
                                 current_mode=frame.current_mode)
-            try:
-                if self.options.compile:
-                    self._run_compiled_body(
-                        ctor.body, [p.name for p in ctor.params],
-                        ctor_frame, arg_values)
-                else:
-                    ctor_frame.push()
-                    for param, value in zip(ctor.params, arg_values):
-                        ctor_frame.declare(param.name, value)
-                    self._exec_block(ctor.body, ctor_frame)
-            except _ReturnSignal:
-                pass
+            # Return value (if any) discarded; ``new`` yields the object.
+            self._call_body(ctor.body, [p.name for p in ctor.params],
+                            ctor_frame, arg_values)
         return obj
 
     # ------------------------------------------------------------------
@@ -642,21 +658,46 @@ class Interpreter:
         body_frame = _Frame(receiver, mode_env, closure)
         assert minfo.decl is not None
         try:
-            if self._compile_on:
-                self._run_compiled_body(minfo.decl.body,
-                                        minfo.param_names, body_frame,
-                                        args)
-            else:
-                body_frame.locals.append(
-                    dict(zip(minfo.param_names, args)))
-                self._exec_block(minfo.decl.body, body_frame)
-        except _ReturnSignal as signal:
-            return signal.value
+            value = self._call_body(minfo.decl.body, minfo.param_names,
+                                    body_frame, args,
+                                    self._wants_for(minfo))
         finally:
             if traced:
                 self.tracer.mode_transition("closure", closure,
                                             frame.current_mode)
-        return None
+        return value if value is not _NO_RETURN else None
+
+    # ------------------------------------------------------------------
+    # Body execution (engine indirection)
+
+    def _call_body_walk(self, block: ast.Block, param_names, frame,
+                        args, wants=()) -> object:
+        """Tree-walk a body; returns the returned value or
+        ``_NO_RETURN`` when the body falls off the end."""
+        frame.locals.append(dict(zip(param_names, args)))
+        try:
+            self._exec_block(block, frame)
+        except _ReturnSignal as signal:
+            return signal.value
+        return _NO_RETURN
+
+    def _call_body_compiled(self, block: ast.Block, param_names, frame,
+                            args, wants=()) -> object:
+        try:
+            self._run_compiled_body(block, param_names, frame, args)
+        except _ReturnSignal as signal:
+            return signal.value
+        return _NO_RETURN
+
+    def _wants_for(self, minfo: MethodInfo) -> tuple:
+        """Per-parameter "is mcase-typed" tuple (mcase parameters
+        receive their arguments un-eliminated)."""
+        wants = self._param_wants.get(id(minfo))
+        if wants is None:
+            wants = tuple(isinstance(p, ty.MCaseType)
+                          for p in minfo.param_types)
+            self._param_wants[id(minfo)] = wants
+        return wants
 
     def _run_compiled_body(self, block: ast.Block, param_names,
                            frame: _Frame, args) -> None:
@@ -731,27 +772,22 @@ class Interpreter:
                             current_mode=BOTTOM)
         return self._run_attributor_body(minfo.decl.attributor, attr_frame,
                                          f"{minfo.owner}.{minfo.name}",
-                                         minfo.param_names, args)
+                                         minfo.param_names, args,
+                                         self._wants_for(minfo))
 
     def _run_attributor_body(self, attributor: ast.AttributorDecl,
                              frame: _Frame, what: str,
-                             param_names=(), args=()) -> Mode:
-        try:
-            if self.options.compile:
-                self._run_compiled_body(attributor.body, param_names,
-                                        frame, args)
-            else:
-                frame.push()
-                for name, value in zip(param_names, args):
-                    frame.declare(name, value)
-                self._exec_block(attributor.body, frame)
-        except _ReturnSignal as signal:
-            if not isinstance(signal.value, Mode):
-                raise EntRuntimeError(
-                    f"attributor of {what} returned a non-mode value: "
-                    f"{signal.value!r}")
-            return signal.value
-        raise EntRuntimeError(f"attributor of {what} did not return a mode")
+                             param_names=(), args=(), wants=()) -> Mode:
+        value = self._call_body(attributor.body, param_names, frame,
+                                args, wants)
+        if value is _NO_RETURN:
+            raise EntRuntimeError(
+                f"attributor of {what} did not return a mode")
+        if not isinstance(value, Mode):
+            raise EntRuntimeError(
+                f"attributor of {what} returned a non-mode value: "
+                f"{value!r}")
+        return value
 
     def _infer_runtime_mode(self, minfo: MethodInfo,
                             args: List[object]) -> Optional[Mode]:
@@ -775,7 +811,10 @@ class Interpreter:
     def _execute_expr(self, expr: ast.Expr, frame: _Frame,
                       want_mcase: bool = False) -> object:
         """Field-initializer entry point (compiles lazily per expr)."""
-        if self.options.compile:
+        if self._vm is not None:
+            return self._vm.execute_expr(expr, frame,
+                                         want_mcase=want_mcase)
+        if self._compile_on:
             key = (id(expr), want_mcase)
             code = self._init_code_cache.get(key)
             if code is None:
@@ -1143,11 +1182,7 @@ class Interpreter:
                 raise StuckError(
                     f"no method {expr.name!r} on class "
                     f"{receiver.class_info.name}")
-            wants = self._param_wants.get(id(minfo))
-            if wants is None:
-                wants = tuple(isinstance(p, ty.MCaseType)
-                              for p in minfo.param_types)
-                self._param_wants[id(minfo)] = wants
+            wants = self._wants_for(minfo)
             args = []
             append = args.append
             for arg_expr, w in zip(expr.args, wants):

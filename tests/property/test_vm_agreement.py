@@ -1,0 +1,125 @@
+"""Cross-engine differential testing for the register-bytecode VM.
+
+All three execution engines — tree walk, closure compiler, VM — must be
+observationally identical on every program: same output lines, same
+stats (minus ``steps``, which is engine-defined), same exceptions with
+the same messages, with check elision and inline caches toggled both
+ways.  This is the acceptance gate for ``docs/VM.md``'s claim that the
+engines differ only in speed.
+"""
+
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import plan_elisions
+from repro.core.errors import (EnergyException, EntRuntimeError,
+                               FuelExhausted)
+from repro.lang.interp import Interpreter, InterpOptions, NullPlatform
+from repro.lang.typechecker import check_program
+
+# Reuse the soundness generator: its programs cover snapshots, bounds,
+# messaging, mode cases, loops and exception handlers.
+from test_soundness import programs  # type: ignore
+
+# And the compiler-agreement kernels, so all engines chew on the same
+# workload shapes.
+from test_compiler_agreement import KERNEL_PROGRAMS  # type: ignore
+
+_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: Every shipped ENT example program, globbed so new ones are covered.
+FIXED_PROGRAMS = sorted(
+    str(p.relative_to(_ROOT))
+    for p in (_ROOT / "examples" / "ent").glob("*.ent"))
+
+ENGINES = ("walk", "compiled", "vm")
+
+
+def run_engine(source: str, engine: str, battery: float = 0.6,
+               elide: bool = False, inline_caches: bool = True):
+    """One run; returns everything observable: the outcome (with the
+    exception's message — errors must match byte for byte), the output
+    lines, and the stats dict minus ``steps``."""
+
+    class _Battery(NullPlatform):
+        def battery_fraction(self):
+            return battery
+
+    checked = check_program(source)
+    if elide:
+        plan_elisions(checked)
+    interp = Interpreter(
+        checked, platform=_Battery(),
+        options=InterpOptions(engine=engine, fuel=500_000,
+                              inline_caches=inline_caches))
+    try:
+        interp.run()
+        outcome = ("ok", None)
+    except EnergyException as exc:
+        outcome = ("energy", str(exc))
+    except FuelExhausted:
+        outcome = ("fuel", None)
+    except EntRuntimeError as exc:
+        outcome = ("error", type(exc).__name__, str(exc))
+    stats = interp.stats.as_dict()
+    del stats["steps"]  # engine-defined (documented in docs/VM.md)
+    return outcome, tuple(interp.output), stats
+
+
+@pytest.mark.parametrize("path", FIXED_PROGRAMS)
+@pytest.mark.parametrize("elide", [False, True], ids=["checks", "elide"])
+@pytest.mark.parametrize("inline_caches", [True, False],
+                         ids=["ic", "noic"])
+def test_examples_agree(path, elide, inline_caches):
+    source = (_ROOT / path).read_text()
+    results = [run_engine(source, engine, elide=elide,
+                          inline_caches=inline_caches)
+               for engine in ENGINES]
+    assert results[0] == results[1] == results[2]
+
+
+@pytest.mark.parametrize("index", range(len(KERNEL_PROGRAMS)),
+                         ids=["accumulate", "pagerank", "crypto"])
+@pytest.mark.parametrize("battery", [0.9, 0.3])
+@pytest.mark.parametrize("elide", [False, True], ids=["checks", "elide"])
+def test_workload_kernels_agree(index, battery, elide):
+    source = KERNEL_PROGRAMS[index]
+    results = [run_engine(source, engine, battery=battery, elide=elide)
+               for engine in ENGINES]
+    assert results[0] == results[1] == results[2]
+    assert results[0][1], "kernel should print a digest"
+
+
+@pytest.mark.parametrize("index", [0, 1],
+                         ids=["accumulate", "pagerank"])
+def test_check_counts_invariant_under_elision(index):
+    """The paper's check accounting: executed + elided is the same
+    number whether or not the planner ran, on every engine."""
+    source = KERNEL_PROGRAMS[index]
+    totals = set()
+    for engine in ENGINES:
+        for elide in (False, True):
+            _, _, stats = run_engine(source, engine, elide=elide)
+            totals.add((stats["dfall_checks"] + stats["dfall_elided"],
+                        stats["bound_checks"]
+                        + stats["bound_checks_elided"]))
+    assert len(totals) == 1, totals
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs())
+def test_random_programs_agree(source):
+    walked = run_engine(source, "walk")
+    vm = run_engine(source, "vm")
+    assert walked == vm
+
+
+@settings(max_examples=15, deadline=None)
+@given(programs())
+def test_random_programs_agree_noic(source):
+    """Inline caches off must not change VM observables either."""
+    walked = run_engine(source, "walk")
+    vm = run_engine(source, "vm", inline_caches=False)
+    assert walked == vm

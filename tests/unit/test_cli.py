@@ -107,6 +107,48 @@ class TestRun:
         assert main(["run", path, "--fuel", "5000"]) == 1
         assert "exceeded" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("engine", ["walk", "compiled", "vm"])
+    def test_engine_flag(self, program, capsys, engine):
+        assert main(["run", program(GOOD), "--engine", engine]) == 0
+        assert "n=5" in capsys.readouterr().out
+
+    def test_engine_vm_with_toggles(self, program, capsys):
+        assert main(["run", program(GOOD), "--engine", "vm",
+                     "--no-elide", "--no-inline-caches",
+                     "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "n=5" in captured.out
+        stats = json.loads(captured.err.strip().splitlines()[-1])
+        assert stats["snapshots"] == 1
+
+    def test_compile_flag_is_engine_alias(self, program, capsys):
+        assert main(["run", program(GOOD), "--compile"]) == 0
+        assert "n=5" in capsys.readouterr().out
+
+    def test_explicit_engine_beats_compile_alias(self, program, capsys):
+        assert main(["run", program(GOOD), "--engine", "vm",
+                     "--compile"]) == 0
+        assert "n=5" in capsys.readouterr().out
+
+
+class TestDisasm:
+    def test_disasm_annotates_checks(self, program, capsys):
+        assert main(["disasm", program(GOOD), "--no-elide"]) == 0
+        out = capsys.readouterr().out
+        assert "Probe.<attributor>" in out
+        assert "Main.main" in out
+        assert ";; DFALL_CHECK" in out
+
+    def test_disasm_shows_elision_handoff(self, program, capsys):
+        assert main(["disasm", program(GOOD)]) == 0
+        out = capsys.readouterr().out
+        assert ("elided by repro.analysis" in out
+                or ";; DFALL_CHECK" in out)
+
+    def test_disasm_bad_program(self, program, capsys):
+        assert main(["disasm", program("class { oops",
+                                       "bad.ent")]) == 1
+
 
 class TestObs:
     def test_trace_jsonl(self, program, capsys, tmp_path):
