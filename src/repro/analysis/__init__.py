@@ -23,9 +23,11 @@ from repro.analysis.obligations import (CheckSite, ProgramAnalyzer,
                                         RESIDUAL)
 from repro.analysis.planner import (analyze_program, apply_plan,
                                     plan_elisions)
-from repro.analysis.report import AnalysisReport
+from repro.analysis.report import (AnalysisReport, StaticVsObserved,
+                                   static_vs_observed)
 
 __all__ = ["ModeFact", "join_facts", "join_envs", "CheckSite",
-           "ProgramAnalyzer", "AnalysisReport", "analyze_program",
-           "apply_plan", "plan_elisions", "DFALL", "SNAPSHOT_BOUND",
-           "MCASE_ELIM", "STATIC", "ELIDED", "RESIDUAL"]
+           "ProgramAnalyzer", "AnalysisReport", "StaticVsObserved",
+           "static_vs_observed", "analyze_program", "apply_plan",
+           "plan_elisions", "DFALL", "SNAPSHOT_BOUND", "MCASE_ELIM",
+           "STATIC", "ELIDED", "RESIDUAL"]

@@ -68,6 +68,15 @@ class CheckSite:
     #: not part of the serialized report).
     node: object = field(default=None, repr=False, compare=False)
 
+    @property
+    def site_id(self) -> str:
+        """``<kind>@<line>:<column>`` — the key the runtime profiler
+        (:mod:`repro.obs.prof`) uses for the same obligation, which is
+        what lets ``static_vs_observed`` join the two exactly."""
+        if self.line is None:
+            return f"{self.kind}@?"
+        return f"{self.kind}@{self.line}:{self.column}"
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "kind": self.kind,
@@ -77,6 +86,7 @@ class CheckSite:
             "reason": self.reason,
             "line": self.line,
             "column": self.column,
+            "site_id": self.site_id,
         }
 
 

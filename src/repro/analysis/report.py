@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 from repro.analysis.obligations import (ELIDED, RESIDUAL, STATIC,
                                         CheckSite)
 
-__all__ = ["AnalysisReport"]
+__all__ = ["AnalysisReport", "StaticVsObserved", "static_vs_observed"]
 
 #: Fixed order for the status columns.
 _STATUSES = (STATIC, ELIDED, RESIDUAL)
@@ -85,3 +85,101 @@ class AnalysisReport:
                 [row[col].ljust(widths[col]) for col in range(4)]
                 + [row[4]]).rstrip())
         return "\n".join(lines)
+
+
+def _locatable(sid: str) -> bool:
+    """``kind@line:column`` site ids can be joined against the analysis;
+    symbolic ids (``dfall@?``, ``dfall@Crawler.fetch``) cannot."""
+    _, sep, loc = sid.partition("@")
+    if not sep or ":" not in loc:
+        return False
+    line, _, column = loc.partition(":")
+    return line.isdigit() and column.isdigit()
+
+
+@dataclass
+class StaticVsObserved:
+    """Join of the static elision plan with a runtime check profile.
+
+    A *violation* is the thing the whole subsystem exists to catch: a
+    check site the analysis classified as fully elided that nonetheless
+    fired at runtime, or an executed, source-located check the analysis
+    never saw.  Observed sites without source coordinates (runtime-boot
+    or embedded-runtime checks) are reported informationally but can
+    never be violations — the analysis has nothing to say about them.
+    """
+
+    file: Optional[str] = None
+    matches: List[Dict[str, object]] = field(default_factory=list)
+    violations: List[Dict[str, object]] = field(default_factory=list)
+    unlocated: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "clean": self.clean,
+            "matches": self.matches,
+            "violations": self.violations,
+            "unlocated": self.unlocated,
+        }
+
+    def render(self) -> str:
+        name = self.file or "<program>"
+        if self.clean:
+            header = (f"{name}: static-vs-observed clean - "
+                      f"{len(self.matches)} site(s) agree")
+        else:
+            header = (f"{name}: static-vs-observed FAILED - "
+                      f"{len(self.violations)} violation(s)")
+        lines = [header]
+        for row in self.violations:
+            lines.append(f"  VIOLATION {row['site']}: executed "
+                         f"{row['executed']}x - {row['reason']}")
+        for row in self.unlocated:
+            lines.append(f"  note {row['site']}: executed "
+                         f"{row['executed']}x (no source span; "
+                         "outside the analysis scope)")
+        return "\n".join(lines)
+
+
+def static_vs_observed(report: AnalysisReport, profile) -> StaticVsObserved:
+    """Diff analysis predictions against observed check firings.
+
+    ``profile`` is a :class:`repro.obs.prof.Profile` (duck-typed: only
+    its ``check_sites`` mapping is read, so merged/deserialized profiles
+    work too).  Sound elision means: a site whose every obligation was
+    classified ``elided`` must show ``executed == 0`` at runtime.
+    """
+    predicted: Dict[str, List[str]] = {}
+    for site in report.sites:
+        predicted.setdefault(site.site_id, []).append(site.status)
+
+    diff = StaticVsObserved(file=report.file)
+    for sid in sorted(profile.check_sites):
+        observed = profile.check_sites[sid]
+        executed = int(observed.get("executed", 0))
+        elided = int(observed.get("elided", 0))
+        row = {"site": sid, "executed": executed, "elided": elided}
+        statuses = predicted.get(sid)
+        if statuses is None:
+            if not _locatable(sid):
+                diff.unlocated.append(row)
+            elif executed:
+                row["reason"] = "site unknown to the analysis"
+                diff.violations.append(row)
+            else:
+                diff.matches.append(row)
+            continue
+        row["predicted"] = {
+            status: statuses.count(status) for status in _STATUSES
+            if status in statuses}
+        if executed and all(status == ELIDED for status in statuses):
+            row["reason"] = "fired despite being classified elided"
+            diff.violations.append(row)
+        else:
+            diff.matches.append(row)
+    return diff

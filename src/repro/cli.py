@@ -11,6 +11,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro tokens program.ent          # lex only
     python -m repro obs report trace.jsonl      # analyse a trace
     python -m repro obs convert t.jsonl t.json  # JSONL -> Perfetto
+    python -m repro profile program.ent         # cross-engine profiler
     python -m repro eval figure8 --jobs 0       # parallel evaluation
 
 ``run`` options mirror the paper's build/runtime configurations:
@@ -48,6 +49,15 @@ Python file through the embedded-API linter instead (see
 energy-attribution table, and trace-derived counters/histograms from a
 JSONL trace; ``--scope`` selects a specific timeline (``closure`` or
 ``object:<Class>``).
+
+``profile`` runs a program under the cross-engine profiler
+(docs/PROFILING.md): per-opcode/node time, call-site inline-cache hit
+rates (vm), and per-check-site residual counts, plus the
+static-vs-observed diff against the elision planner's predictions
+(exit 4 if a check fired at a site the analysis marked elided).
+``--energy`` joins the profile with the platform's energy meter;
+``--out``/``--format`` export JSON, collapsed stacks (flamegraphs), or
+a Chrome ``trace_event`` file.
 """
 
 from __future__ import annotations
@@ -144,6 +154,50 @@ def _build_parser() -> argparse.ArgumentParser:
         "convert", help="convert a JSONL trace to Chrome trace_event")
     obs_convert.add_argument("trace", help="a JSONL trace file")
     obs_convert.add_argument("output", help="Chrome trace JSON to write")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run under the cross-engine profiler (docs/PROFILING.md)")
+    profile.add_argument("file")
+    profile.add_argument("args", nargs="*",
+                         help="arguments passed to main")
+    profile.add_argument("--engine", choices=list(ENGINES), default=None,
+                         help="execution engine to profile: walk "
+                              "(default), compiled or vm")
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows in the hot-label table (default 15)")
+    profile.add_argument("--checks", action="store_true",
+                         help="include the per-check-site table")
+    profile.add_argument("--energy", action="store_true",
+                         help="attribute measured joules to labels "
+                              "(implies a platform; default --system A)")
+    profile.add_argument("--json", action="store_true",
+                         help="emit profile + static-vs-observed diff "
+                              "as one JSON object")
+    profile.add_argument("--out", metavar="PATH", default=None,
+                         help="also write the profile to PATH")
+    profile.add_argument("--format", choices=["json", "collapsed",
+                                              "chrome"],
+                         default="json",
+                         help="--out format: json, collapsed "
+                              "(flamegraph stacks) or chrome "
+                              "(Perfetto trace_event)")
+    profile.add_argument("--silent", action="store_true",
+                         help="ignore EnergyExceptions (E1 silent build)")
+    profile.add_argument("--fuel", type=int, default=None,
+                         help="maximum evaluation steps")
+    profile.add_argument("--system", choices=["A", "B", "C"],
+                         default=None,
+                         help="attach a platform simulator")
+    profile.add_argument("--battery", type=float, default=1.0,
+                         help="initial battery fraction (with --system)")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--lenient-mcase", action="store_true")
+    profile.add_argument("--no-elide", action="store_true",
+                         help="run every dynamic check (also skips the "
+                              "static-vs-observed diff)")
+    profile.add_argument("--trace-capacity", type=int, default=65536,
+                         help="event capacity for the --energy tracer")
 
     disasm = sub.add_parser(
         "disasm",
@@ -279,6 +333,88 @@ def _analyze_embedded(args) -> int:
     return 1 if errors else 0
 
 
+def _cmd_profile(args) -> int:
+    """Run a program under the cross-engine profiler.
+
+    Prints the hot-label table (opcodes for the vm, AST node kinds for
+    walk/compiled), the call-site inline-cache table, and — with
+    ``--checks`` — the per-check-site residual counts.  Unless
+    ``--no-elide`` is given the same run's elision plan is diffed
+    against the observed check firings; a check that fired at a site
+    the analysis classified elided is a soundness violation and makes
+    the command exit 4.
+    """
+    from repro.obs.prof import Profiler, energy_by_label, \
+        render_profile, write_profile
+
+    source = _read(args.file)
+    checked = check_program(source,
+                            strict_mcase_coverage=not args.lenient_mcase)
+    system = args.system
+    if args.energy and system is None:
+        system = "A"
+        print("[profile: --energy needs a platform; using --system A]",
+              file=sys.stderr)
+    platform = None
+    if system is not None:
+        from repro.platform.systems import make_platform
+        platform = make_platform(system, seed=args.seed,
+                                 battery_fraction=args.battery)
+    tracer = None
+    if args.energy:
+        from repro.obs.tracer import Tracer
+        tracer = Tracer(capacity=args.trace_capacity)
+    report = None
+    if not args.no_elide:
+        from repro.analysis import analyze_program
+        report = analyze_program(checked, annotate=True, file=args.file)
+    engine = resolve_engine(args.engine, compile_flag=False)
+    profiler = Profiler(engine)
+    options = InterpOptions(silent=args.silent, fuel=args.fuel,
+                            engine=engine,
+                            elide_checks=not args.no_elide)
+    interp = Interpreter(checked, platform=platform, options=options,
+                         seed=args.seed, tracer=tracer, profiler=profiler)
+    status = 0
+    try:
+        interp.run(args.args)
+    except EnergyException as exc:
+        print(f"EnergyException: {exc}", file=sys.stderr)
+        status = 3
+    profile = profiler.profile
+    energy = None
+    if args.energy and tracer is not None:
+        from repro.obs.report import energy_attribution
+        _scope, attribution = energy_attribution(tracer.events())
+        energy = energy_by_label(profile, attribution)
+    diff = None
+    if report is not None:
+        from repro.analysis import static_vs_observed
+        diff = static_vs_observed(report, profile)
+    if args.out is not None:
+        write_profile(profile, args.out, fmt=args.format)
+        print(f"[profile -> {args.out} ({args.format})]",
+              file=sys.stderr)
+    if args.json:
+        payload = {"file": args.file, "profile": profile.as_dict()}
+        if energy is not None:
+            payload["energy_by_label"] = {
+                label: round(joules, 9)
+                for label, joules in sorted(energy.items())}
+        if diff is not None:
+            payload["static_vs_observed"] = diff.as_dict()
+        print(json.dumps(payload))
+    else:
+        print(render_profile(profile, top=args.top, checks=args.checks,
+                             energy=energy))
+        if diff is not None:
+            print()
+            print(diff.render())
+    if diff is not None and not diff.clean:
+        return status or 4
+    return status
+
+
 def _cmd_obs(args) -> int:
     from repro.obs.export import read_jsonl, write_chrome_trace
 
@@ -377,6 +513,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "run": _cmd_run,
     "analyze": _cmd_analyze,
+    "profile": _cmd_profile,
     "obs": _cmd_obs,
     "disasm": _cmd_disasm,
     "pretty": _cmd_pretty,

@@ -32,6 +32,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.prof import NULL_PROFILER, Profiler
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.workloads.registry import get_workload
 
@@ -81,7 +82,7 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _run_one(task: EpisodeTask, tracer) -> object:
+def _run_one(task: EpisodeTask, tracer, profiler=NULL_PROFILER) -> object:
     """Run one task in-process (the serial path and the worker body)."""
     # Imported lazily: repro.eval.runner/sweeps import nothing from this
     # module at top level, but keeping the edge one-directional at import
@@ -90,65 +91,88 @@ def _run_one(task: EpisodeTask, tracer) -> object:
 
     if task.kind == "drain":
         return sweeps.battery_drain_run(task.benchmark, tracer=tracer,
-                                        **task.params)
+                                        profiler=profiler, **task.params)
     workload = get_workload(task.benchmark)
     if task.kind == "e1":
-        return runner.run_e1_episode(workload, tracer=tracer, **task.params)
+        return runner.run_e1_episode(workload, tracer=tracer,
+                                     profiler=profiler, **task.params)
     if task.kind == "e2":
-        return runner.run_e2_episode(workload, tracer=tracer, **task.params)
-    return runner.run_e3_episode(workload, tracer=tracer, **task.params)
+        return runner.run_e2_episode(workload, tracer=tracer,
+                                     profiler=profiler, **task.params)
+    return runner.run_e3_episode(workload, tracer=tracer,
+                                 profiler=profiler, **task.params)
 
 
-def _pool_worker(task: EpisodeTask,
-                 trace_capacity: Optional[int]) -> Tuple:
-    """Worker entry point: run the task, return (key, result, ring).
+def _pool_worker(task: EpisodeTask, trace_capacity: Optional[int],
+                 profile: bool = False) -> Tuple:
+    """Worker entry point: run the task, return
+    ``(key, result, events, dropped, profile)``.
 
     Must stay module-level so the pool can pickle it.  The worker's
     tracer ring travels back as a plain event list (events carry only
-    JSON-serializable fields, so they pickle cheaply).
+    JSON-serializable fields, so they pickle cheaply); its profile is a
+    :class:`~repro.obs.prof.Profile` of plain dicts, which the parent
+    folds in with :meth:`~repro.obs.prof.Profile.merge`.
     """
+    profiler = Profiler("embedded") if profile else NULL_PROFILER
     if trace_capacity is not None:
         tracer = Tracer(capacity=trace_capacity)
-        result = _run_one(task, tracer)
-        return task.key, result, tracer.events(), tracer.dropped
-    return task.key, _run_one(task, NULL_TRACER), [], 0
+        result = _run_one(task, tracer, profiler)
+        events, dropped = tracer.events(), tracer.dropped
+    else:
+        result = _run_one(task, NULL_TRACER, profiler)
+        events, dropped = [], 0
+    if profile:
+        profiler.finish()
+        return task.key, result, events, dropped, profiler.profile
+    return task.key, result, events, dropped, None
 
 
 def run_episodes(tasks: Iterable[EpisodeTask],
                  jobs: Optional[int] = None,
                  tracer=None,
+                 profiler=None,
                  trace_capacity: int = 65536) -> Dict[Tuple, object]:
     """Run every task, returning ``{task.key: result}``.
 
     Serial (``jobs`` None/1) runs tasks in submission order in-process,
-    sharing ``tracer`` directly.  Parallel submits them to a process
-    pool and reassembles results *by key in submission order*, merging
-    each worker's tracer ring into ``tracer`` at the same point the
-    serial run would have emitted it — so both the result mapping and
-    the merged event stream are identical to the serial run's.
+    sharing ``tracer`` and ``profiler`` directly.  Parallel submits
+    them to a process pool and reassembles results *by key in
+    submission order*, merging each worker's tracer ring into
+    ``tracer`` at the same point the serial run would have emitted it —
+    so both the result mapping and the merged event stream are
+    identical to the serial run's.  Worker check/call counts are folded
+    into ``profiler`` the same way; profile merging is commutative
+    keyed aggregation, so the totals are independent of both worker
+    scheduling and merge order.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+    profiler = profiler if profiler is not None else NULL_PROFILER
     tasks = list(tasks)
     keys = [task.key for task in tasks]
     if len(set(keys)) != len(keys):
         raise ValueError("duplicate EpisodeTask keys in one batch")
     workers = resolve_jobs(jobs)
     if workers <= 1 or len(tasks) <= 1:
-        return {task.key: _run_one(task, tracer) for task in tasks}
+        return {task.key: _run_one(task, tracer, profiler)
+                for task in tasks}
     capacity = trace_capacity if tracer.enabled else None
-    collected: Dict[Tuple, Tuple[object, List, int]] = {}
+    collected: Dict[Tuple, Tuple[object, List, int, object]] = {}
     with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        futures = [pool.submit(_pool_worker, task, capacity)
+        futures = [pool.submit(_pool_worker, task, capacity,
+                               profiler.enabled)
                    for task in tasks]
         for future in as_completed(futures):
-            key, result, events, dropped = future.result()
-            collected[key] = (result, events, dropped)
+            key, result, events, dropped, profile = future.result()
+            collected[key] = (result, events, dropped, profile)
     results: Dict[Tuple, object] = {}
     for task in tasks:
-        result, events, dropped = collected[task.key]
+        result, events, dropped, profile = collected[task.key]
         results[task.key] = result
         if tracer.enabled:
             for event in events:
                 tracer.emit(event)
             tracer.dropped += dropped
+        if profile is not None and profiler.enabled:
+            profiler.profile.merge(profile)
     return results

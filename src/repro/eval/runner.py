@@ -134,7 +134,7 @@ def _build_app(workload: Workload, rt: EntRuntime, system: str):
 
 def run_e1_episode(workload: Workload, system: str, boot_mode: str,
                    workload_mode: str, silent: bool = False,
-                   seed: int = 0, tracer=None,
+                   seed: int = 0, tracer=None, profiler=None,
                    engine: Optional[str] = None) -> EpisodeResult:
     """One battery-exception run (one bar of Figure 8).
 
@@ -148,7 +148,8 @@ def run_e1_episode(workload: Workload, system: str, boot_mode: str,
     platform = make_platform(
         system, seed=seed,
         battery_fraction=BOOT_BATTERY_LEVELS[boot_mode])
-    rt = EntRuntime.standard(platform, silent=silent, tracer=tracer)
+    rt = EntRuntime.standard(platform, silent=silent, tracer=tracer,
+                             profiler=profiler)
     Agent, Task, DegradedProcessor = _build_app(workload, rt, system)
     meter = platform.meter()
     meter.begin()
@@ -185,7 +186,7 @@ def run_e1_episode(workload: Workload, system: str, boot_mode: str,
 
 def run_e2_episode(workload: Workload, system: str, boot_mode: str,
                    workload_mode: str = FT,
-                   seed: int = 0, tracer=None,
+                   seed: int = 0, tracer=None, profiler=None,
                    engine: Optional[str] = None) -> EpisodeResult:
     """One battery-casing run (one bar of Figure 10): the boot mode
     eliminates a mode case selecting the QoS level.  ``engine`` as in
@@ -196,7 +197,7 @@ def run_e2_episode(workload: Workload, system: str, boot_mode: str,
     platform = make_platform(
         system, seed=seed,
         battery_fraction=BOOT_BATTERY_LEVELS[boot_mode])
-    rt = EntRuntime.standard(platform, tracer=tracer)
+    rt = EntRuntime.standard(platform, tracer=tracer, profiler=profiler)
     Agent, Task, _ = _build_app(workload, rt, system)
     # The QoS selector: a mode case eliminated on the agent's mode
     # (identity over mode names — each boot mode selects its QoS row).
@@ -227,6 +228,7 @@ def run_e3_episode(workload: Workload, variant: str = "ent",
                    seed: int = 0,
                    units: Optional[int] = None,
                    tracer=None,
+                   profiler=None,
                    platform: Optional[Platform] = None,
                    engine: Optional[str] = None) -> TraceResult:
     """One temperature-casing run (one curve of Figure 11), System A.
@@ -246,7 +248,7 @@ def run_e3_episode(workload: Workload, variant: str = "ent",
     tracer = tracer if tracer is not None else NULL_TRACER
     if platform is None:
         platform = make_platform("A", seed=seed)
-    rt = EntRuntime.thermal(platform, tracer=tracer)
+    rt = EntRuntime.thermal(platform, tracer=tracer, profiler=profiler)
 
     @rt.dynamic
     class Sleeper:

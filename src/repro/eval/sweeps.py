@@ -82,7 +82,7 @@ def battery_drain_run(benchmark: str = "jspider", system: str = "A",
                       start_fraction: float = 1.0,
                       workload_mode: str = ES,
                       seed: int = 0,
-                      tracer=None) -> DrainRun:
+                      tracer=None, profiler=None) -> DrainRun:
     """Run an adaptive loop over a draining battery.
 
     Each iteration re-snapshots the Agent (its attributor reads the
@@ -98,7 +98,7 @@ def battery_drain_run(benchmark: str = "jspider", system: str = "A",
     if battery_scale != 1.0:
         platform.battery.capacity_joules *= battery_scale
         platform.battery.set_fraction(start_fraction)
-    rt = EntRuntime.standard(platform, tracer=tracer)
+    rt = EntRuntime.standard(platform, tracer=tracer, profiler=profiler)
 
     @rt.dynamic
     class Agent:
@@ -147,7 +147,7 @@ def drain_sweep(benchmarks: Iterable[str],
                 workload_mode: str = ES,
                 seed: int = 0,
                 jobs: Optional[int] = None,
-                tracer=None) -> List[DrainRun]:
+                tracer=None, profiler=None) -> List[DrainRun]:
     """Run one drain per (benchmark, system), fanned out over ``jobs``.
 
     Returns the runs in (benchmark, system) enumeration order —
@@ -165,5 +165,6 @@ def drain_sweep(benchmarks: Iterable[str],
                     start_fraction=start_fraction,
                     workload_mode=workload_mode, seed=seed))
         for key in keys]
-    results = run_episodes(tasks, jobs=jobs, tracer=tracer)
+    results = run_episodes(tasks, jobs=jobs, tracer=tracer,
+                           profiler=profiler)
     return [results[key] for key in keys]

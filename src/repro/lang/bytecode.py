@@ -45,7 +45,7 @@ from repro.lang import ast_nodes as ast
 from repro.lang import types as ty
 
 __all__ = ["VMCode", "CallSite", "lower_body", "lower_expr",
-           "disassemble", "OP_NAMES"]
+           "instrument", "disassemble", "OP_NAMES"]
 
 # ---------------------------------------------------------------------------
 # Opcodes.  Roughly hotness-ordered: the dispatch loop in vm.py probes
@@ -115,6 +115,7 @@ OP_RETURN_NONE = 60    # ()
 OP_FALLOFF = 61        # ()               body end without return
 OP_BREAK_NOLOOP = 62   # ()
 OP_CONT_NOLOOP = 63    # ()
+OP_PROFILE = 64        # (label,)  profiler bump (instrument() only)
 
 OP_NAMES = {
     OP_FUEL: "FUEL", OP_JF_LT: "JF_LT", OP_JF_LE: "JF_LE",
@@ -143,6 +144,7 @@ OP_NAMES = {
     OP_POP_HANDLER: "POP_HANDLER", OP_THROW: "THROW",
     OP_RETURN_NONE: "RETURN_NONE", OP_FALLOFF: "FALLOFF",
     OP_BREAK_NOLOOP: "BREAK_NOLOOP", OP_CONT_NOLOOP: "CONT_NOLOOP",
+    OP_PROFILE: "PROFILE",
 }
 
 #: Fused conditional jumps and value-producing compare ops by operator.
@@ -595,7 +597,7 @@ class _Lowering:
                       or (BOTTOM, TOP))
             dest = self.temp() if dst is None else dst
             self.emit(OP_SNAPSHOT_ELIDE if expr.elide_bound
-                      else OP_SNAPSHOT, dest, src, bounds)
+                      else OP_SNAPSHOT, dest, src, bounds, expr.span)
             return dest
         if cls is ast.Cast:
             src = self.expr(expr.expr)
@@ -813,6 +815,37 @@ def lower_expr(interp, expr, want_mcase: bool = False,
 
 
 # ---------------------------------------------------------------------------
+# Profiling instrumentation (``repro profile --engine vm``)
+
+#: Opcodes whose first operand is an instruction index.
+_JUMP_OPS = (OP_JUMP, OP_JF, OP_JT, OP_JF_LT, OP_JF_LE, OP_JF_GT,
+             OP_JF_GE, OP_JF_EQ, OP_JF_NE, OP_FOREACH_ITER,
+             OP_PUSH_HANDLER)
+
+
+def instrument(code: VMCode) -> VMCode:
+    """Weave a ``PROFILE`` pre-instruction before every instruction.
+
+    Old instruction ``i`` lands at ``2*i + 1`` with its ``PROFILE`` at
+    ``2*i``; jump targets are remapped ``t -> 2*t`` so every jump lands
+    on the target's ``PROFILE`` first and the landing is counted.  The
+    uninstrumented dispatch loop never sees ``PROFILE`` (the VM only
+    instruments bodies it lowers while the profiler is enabled), so
+    disabled-profiling cost is exactly zero.
+    """
+    instrs = []
+    for inst in code.instrs:
+        op = inst[0]
+        instrs.append((OP_PROFILE, "op." + OP_NAMES[op]))
+        if op in _JUMP_OPS and inst[1] is not None:
+            inst = (op, inst[1] * 2) + inst[2:]
+        instrs.append(inst)
+    return VMCode(tuple(instrs), list(code.template), code.nparams,
+                  code.n_slots, code.consts, code.name,
+                  code.param_names)
+
+
+# ---------------------------------------------------------------------------
 # Disassembler (``repro disasm``)
 
 #: Check-instruction annotations appended by the disassembler; keeping
@@ -849,9 +882,7 @@ def disassemble(code: VMCode) -> str:
               f"params={list(code.param_names)} "
               f"slots={code.n_slots} consts={len(code.consts)}")
     lines = [header]
-    jump_ops = (OP_JUMP, OP_JF, OP_JT, OP_JF_LT, OP_JF_LE, OP_JF_GT,
-                OP_JF_GE, OP_JF_EQ, OP_JF_NE, OP_FOREACH_ITER,
-                OP_PUSH_HANDLER)
+    jump_ops = _JUMP_OPS
     for index, inst in enumerate(code.instrs):
         op = inst[0]
         parts = [OP_NAMES.get(op, f"OP<{op}>")]

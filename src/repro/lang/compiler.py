@@ -154,7 +154,29 @@ def _compile_block(interp, block: ast.Block, scope: _CompileScope) -> Code:
     return run
 
 
+def _profiled(interp, label: str, code: Code) -> Code:
+    """Wrap compiled code with a profiler bump.  Only reachable when
+    the profiler is enabled at compile time (compilation is lazy and
+    per-interpreter), so unprofiled runs keep the bare closures."""
+    bump = interp.profiler.bump
+
+    def run(frame):
+        bump(label, frame.current_mode)
+        return code(frame)
+
+    return run
+
+
 def _compile_stmt(interp, stmt: ast.Stmt, scope: _CompileScope) -> Code:
+    code = _compile_stmt_raw(interp, stmt, scope)
+    if interp.profiler.enabled:
+        return _profiled(interp, "stmt." + stmt.__class__.__name__,
+                         code)
+    return code
+
+
+def _compile_stmt_raw(interp, stmt: ast.Stmt,
+                      scope: _CompileScope) -> Code:
     from repro.lang.interp import _ReturnSignal
 
     cls = stmt.__class__
@@ -349,21 +371,26 @@ def _compile_expr(interp, expr: ast.Expr, scope: _CompileScope,
                   want_mcase: bool = False) -> Code:
     cls = expr.__class__
     if cls is ast.Var:
-        return _compile_var(interp, expr, scope, want_mcase)
-    if cls is ast.FieldAccess:
-        return _compile_field_access(interp, expr, scope, want_mcase)
-    raw = _compile_expr_raw(interp, expr, scope)
-    if want_mcase or cls in _NEVER_MCASE:
-        return raw
-    elim = interp._elim_with_mode
+        code = _compile_var(interp, expr, scope, want_mcase)
+    elif cls is ast.FieldAccess:
+        code = _compile_field_access(interp, expr, scope, want_mcase)
+    else:
+        raw = _compile_expr_raw(interp, expr, scope)
+        if want_mcase or cls in _NEVER_MCASE:
+            code = raw
+        else:
+            elim = interp._elim_with_mode
 
-    def run(frame):
-        value = raw(frame)
-        if isinstance(value, MCaseV):
-            return elim(value, frame.current_mode)
-        return value
+            def run(frame):
+                value = raw(frame)
+                if isinstance(value, MCaseV):
+                    return elim(value, frame.current_mode)
+                return value
 
-    return run
+            code = run
+    if interp.profiler.enabled:
+        return _profiled(interp, "node." + cls.__name__, code)
+    return code
 
 
 def _compile_expr_raw(interp, expr: ast.Expr,
@@ -399,8 +426,10 @@ def _compile_expr_raw(interp, expr: ast.Expr,
         bounds = getattr(expr, "resolved_bounds", None) or (BOTTOM, TOP)
         snapshot_value = interp._snapshot_value
         elide_bound = expr.elide_bound
+        span = expr.span
         return lambda frame: snapshot_value(inner(frame), bounds, frame,
-                                            elide_bound=elide_bound)
+                                            elide_bound=elide_bound,
+                                            span=span)
 
     if cls is ast.MCaseExpr:
         compiled = [(None if b.mode_name is None else Mode(b.mode_name),

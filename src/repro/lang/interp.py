@@ -56,6 +56,7 @@ from repro.core.errors import (BadCastError, EnergyException,
 from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
 from repro.obs.events import (AttributorEvent, DfallCheckEvent,
                               MCaseElimEvent, SnapshotEvent, mode_name)
+from repro.obs.prof import NULL_PROFILER, site_id
 from repro.obs.tracer import NULL_TRACER, attach_platform
 from repro.lang import ast_nodes as ast
 from repro.lang import types as ty
@@ -282,7 +283,7 @@ class Interpreter:
     def __init__(self, checked: CheckedProgram,
                  platform=None,
                  options: Optional[InterpOptions] = None,
-                 seed: int = 0, tracer=None) -> None:
+                 seed: int = 0, tracer=None, profiler=None) -> None:
         self.checked = checked
         self.table = checked.table
         self.lattice: ModeLattice = checked.lattice
@@ -291,6 +292,9 @@ class Interpreter:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer.enabled:
             attach_platform(self.tracer, self.platform)
+        # Set before engine wiring: the VM reads ``profiler.enabled``
+        # when deciding its fast-path gates.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.stats = InterpStats()
         self.output: List[str] = []
         self.rng = random.Random(seed)
@@ -349,6 +353,24 @@ class Interpreter:
                  and not opts.baseline)
         self._elide_bound_on = elide
         self._elide_dfall_on = elide and opts.check_dfall
+        if self.profiler.enabled:
+            self._install_profiling()
+
+    def _install_profiling(self) -> None:
+        """Shadow the hot dispatch methods with profiled wrappers.
+
+        Instance-attribute shadowing is the zero-cost-when-disabled
+        mechanism for the walk and compiled engines: the class methods
+        stay untouched, so an unprofiled interpreter pays nothing.  The
+        closure compiler captures ``interp._invoke`` (and the walk's
+        ``self._eval`` lookups resolve the attribute) lazily, after
+        construction, so the wrappers are what every engine binds.
+        """
+        self._invoke = self._invoke_profiled
+        if self.engine == "walk":
+            self._eval = self._eval_profiled
+            self._eval_leaf = self._eval_leaf_profiled
+            self._exec_stmt = self._exec_stmt_profiled
 
     # ------------------------------------------------------------------
     # Entry point
@@ -371,13 +393,19 @@ class Interpreter:
             if len(minfo.param_names) != (1 if args else 0):
                 raise EntRuntimeError(
                     "main must take zero parameters or a single List")
-        if self.tracer.enabled:
-            self.tracer.mode_transition("closure", None, TOP)
-            with self.tracer.span("main", category="program"):
-                return self._invoke(main_obj, minfo, call_args, boot_frame,
-                                    self_call=False, span=None)
-        return self._invoke(main_obj, minfo, call_args, boot_frame,
-                            self_call=False, span=None)
+        try:
+            if self.tracer.enabled:
+                self.tracer.mode_transition("closure", None, TOP)
+                with self.tracer.span("main", category="program"):
+                    return self._invoke(main_obj, minfo, call_args,
+                                        boot_frame, self_call=False,
+                                        span=None)
+            return self._invoke(main_obj, minfo, call_args, boot_frame,
+                                self_call=False, span=None)
+        finally:
+            # Flush the profiler's trailing interval so per-label
+            # counts are exact (a no-op when disabled or re-run).
+            self.profiler.finish()
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -639,6 +667,8 @@ class Interpreter:
             # docs/ANALYSIS.md); skip it but keep the count so the
             # transparency suite can fold executed + elided together.
             self.stats.dfall_elided += 1
+            if self.profiler.enabled:
+                self.profiler.check_elided("dfall", span)
             if self.tracer.enabled and guard is not None:
                 sender_mode = (frame.current_mode
                                if frame.current_mode is not None else TOP)
@@ -666,6 +696,26 @@ class Interpreter:
                 self.tracer.mode_transition("closure", closure,
                                             frame.current_mode)
         return value if value is not _NO_RETURN else None
+
+    def _invoke_profiled(self, receiver: ObjectV, minfo: MethodInfo,
+                         args: List[object], frame: _Frame,
+                         self_call: bool, span,
+                         elide_dfall: bool = False) -> object:
+        """``_invoke`` plus call-site and call-stack accounting;
+        installed by :meth:`_install_profiling` (all engines — the
+        VM's leaf fast path is disabled while profiling, so every
+        object send lands here, as under tracing)."""
+        profiler = self.profiler
+        name = f"{minfo.owner}.{minfo.name}"
+        profiler.call(site_id("call", span), name)
+        mode = frame.current_mode
+        profiler.push(name, mode)
+        try:
+            return Interpreter._invoke(self, receiver, minfo, args,
+                                       frame, self_call, span,
+                                       elide_dfall=elide_dfall)
+        finally:
+            profiler.pop(mode)
 
     # ------------------------------------------------------------------
     # Body execution (engine indirection)
@@ -728,6 +778,8 @@ class Interpreter:
             # Internal view: an object may always message itself.
             return
         self.stats.dfall_checks += 1
+        if self.profiler.enabled:
+            self.profiler.check("dfall", span, sender)
         if guard is None:
             if self.options.silent:
                 return
@@ -1087,6 +1139,33 @@ class Interpreter:
             return value
         return self._eval(expr, frame)
 
+    # ------------------------------------------------------------------
+    # Profiled walk dispatch (installed by ``_install_profiling``; the
+    # class methods above stay untouched so unprofiled runs pay nothing)
+
+    def _eval_profiled(self, expr: ast.Expr, frame: _Frame,
+                       want_mcase: bool = False) -> object:
+        self.profiler.bump("node." + expr.__class__.__name__,
+                           frame.current_mode)
+        return Interpreter._eval(self, expr, frame, want_mcase)
+
+    def _eval_leaf_profiled(self, expr: ast.Expr,
+                            frame: _Frame) -> object:
+        cls = expr.__class__
+        if cls is ast.IntLit or cls is ast.Binary or cls is ast.Var:
+            self.profiler.bump("node." + cls.__name__,
+                               frame.current_mode)
+            return Interpreter._eval_leaf(self, expr, frame)
+        # Non-leaf operands take the full (already shadowed) evaluator,
+        # which bumps exactly once.
+        return self._eval(expr, frame)
+
+    def _exec_stmt_profiled(self, stmt: ast.Stmt,
+                            frame: _Frame) -> None:
+        self.profiler.bump("stmt." + stmt.__class__.__name__,
+                           frame.current_mode)
+        return Interpreter._exec_stmt(self, stmt, frame)
+
     def _elim_with_mode(self, mcase: MCaseV,
                         mode: Optional[Mode]) -> object:
         """Implicit mode-case elimination at ``mode`` (the mode of the
@@ -1289,10 +1368,12 @@ class Interpreter:
         value = self._eval(expr.expr, frame)
         bounds = getattr(expr, "resolved_bounds", (BOTTOM, TOP))
         return self._snapshot_value(value, bounds, frame,
-                                    elide_bound=expr.elide_bound)
+                                    elide_bound=expr.elide_bound,
+                                    span=expr.span)
 
     def _snapshot_value(self, value: object, bounds,
-                        frame: _Frame, elide_bound: bool = False) -> object:
+                        frame: _Frame, elide_bound: bool = False,
+                        span=None) -> object:
         """Snapshot an already-evaluated value against ``(lo, hi)`` bound
         atoms (shared with the compiler)."""
         if not isinstance(value, ObjectV):
@@ -1326,6 +1407,8 @@ class Interpreter:
             # the bounds are then always concrete, so resolution is only
             # needed when something observes them.
             self.stats.bound_checks_elided += 1
+            if self.profiler.enabled:
+                self.profiler.check_elided("snapshot_bound", span)
             ok = True
             if traced or self.on_snapshot is not None:
                 lower = self._resolve_atom(bounds[0], frame)
@@ -1342,6 +1425,9 @@ class Interpreter:
             lower = lower if lower is not None else BOTTOM
             upper = upper if upper is not None else TOP
             self.stats.bound_checks += 1
+            if self.profiler.enabled:
+                self.profiler.check("snapshot_bound", span,
+                                    frame.current_mode)
             ok = (self.lattice.leq(lower, mode)
                   and self.lattice.leq(mode, upper))
         if traced:
@@ -1541,7 +1627,7 @@ _STMT_DISPATCH = {
 def run_source(source: str, args: Optional[List[str]] = None,
                platform=None, options: Optional[InterpOptions] = None,
                seed: int = 0, strict_mcase_coverage: bool = True,
-               tracer=None, elide: bool = False):
+               tracer=None, elide: bool = False, profiler=None):
     """Parse, typecheck and run an ENT program; returns the interpreter
     (inspect ``.output``, ``.stats``, and the returned value).
 
@@ -1556,7 +1642,7 @@ def run_source(source: str, args: Optional[List[str]] = None,
         from repro.analysis import plan_elisions
         plan_elisions(checked)
     interp = Interpreter(checked, platform=platform, options=options,
-                         seed=seed, tracer=tracer)
+                         seed=seed, tracer=tracer, profiler=profiler)
     result = interp.run(args)
     interp.result = result
     return interp

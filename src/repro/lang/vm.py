@@ -49,13 +49,14 @@ from repro.lang.bytecode import (  # noqa: F401 (re-exported for tests)
     OP_JT, OP_JUMP, OP_LE, OP_LIST_BUILD, OP_LOAD_NATIVE, OP_LOAD_THIS,
     OP_LT, OP_MCASE_BUILD, OP_MCASE_DISPATCH, OP_MOD, OP_MOVE,
     OP_MSELECT, OP_MUL, OP_NE, OP_NEG, OP_NEW, OP_NEW_LIST, OP_NOT,
-    OP_POP_HANDLER, OP_PUSH_HANDLER, OP_RETURN, OP_RETURN_NONE,
-    OP_RET_FIELD, OP_SETF, OP_SETF_THIS, OP_SNAPSHOT,
+    OP_POP_HANDLER, OP_PROFILE, OP_PUSH_HANDLER, OP_RETURN,
+    OP_RETURN_NONE, OP_RET_FIELD, OP_SETF, OP_SETF_THIS, OP_SNAPSHOT,
     OP_SNAPSHOT_ELIDE, OP_SUB, OP_THROW, OP_VAR_DYN, OP_VAR_DYN_ARG,
-    OP_VAR_DYN_RAW, VMCode, lower_body, lower_expr)
+    OP_VAR_DYN_RAW, VMCode, instrument, lower_body, lower_expr)
 from repro.lang.natives import (NATIVE_STATIC_CLASSES, call_list_method,
                                 call_native_static, call_string_method)
 from repro.lang.values import MCaseV, ObjectV
+from repro.obs.prof import site_id
 
 __all__ = ["VM"]
 
@@ -72,15 +73,18 @@ class VM:
         self._codes = {}
         #: (id(expr), want_mcase) -> VMCode for field initializers.
         self._expr_codes = {}
-        #: Leaf-call fast path gate: traced runs must go through
-        #: ``_invoke`` so mode-transition events are emitted.
-        self._fast_ok = not interp.tracer.enabled
+        #: Leaf-call fast path gate: traced and profiled runs must go
+        #: through ``_invoke`` so mode-transition events / call-site
+        #: profiles are emitted.
+        self._fast_ok = (not interp.tracer.enabled
+                         and not interp.profiler.enabled)
         #: Gate for the inlined dfall-cache hit (below): only when the
         #: full :meth:`Interpreter._check_dfall` would count the check,
         #: probe the memo and raise nothing on a positive verdict.
         opts = interp.options
         self._dfall_plain = (not opts.baseline and opts.check_dfall
-                             and not interp.tracer.enabled)
+                             and not interp.tracer.enabled
+                             and not interp.profiler.enabled)
 
     # ------------------------------------------------------------------
     # Entry points (wired as ``Interpreter._call_body`` /
@@ -91,6 +95,11 @@ class VM:
         if code is None:
             code = lower_body(self.interp, block, param_names,
                               wants=wants, name=name)
+            # Profiling gate: instrumentation is decided here, once per
+            # body, never per instruction — disabled runs execute the
+            # unmodified stream.
+            if self.interp.profiler.enabled:
+                code = instrument(code)
             self._codes[id(block)] = code
         return code
 
@@ -113,6 +122,8 @@ class VM:
         code = self._expr_codes.get(key)
         if code is None:
             code = lower_expr(self.interp, expr, want_mcase=want_mcase)
+            if self.interp.profiler.enabled:
+                code = instrument(code)
             self._expr_codes[key] = code
         return self._run(code, code.template.copy(), frame)
 
@@ -142,6 +153,9 @@ class VM:
         entry = (minfo, wants, code, receiver.class_info.transparent)
         if interp.options.inline_caches:
             site.ic[receiver.class_info.name] = entry
+        if interp.profiler.enabled:
+            interp.profiler.ic_miss(site_id("call", site.span),
+                                    site.name, len(site.ic))
         return entry
 
     # ------------------------------------------------------------------
@@ -618,11 +632,11 @@ class VM:
                     elif op == OP_SNAPSHOT:
                         regs[inst[1]] = interp._snapshot_value(
                             regs[inst[2]], inst[3], frame,
-                            elide_bound=False)
+                            elide_bound=False, span=inst[4])
                     elif op == OP_SNAPSHOT_ELIDE:
                         regs[inst[1]] = interp._snapshot_value(
                             regs[inst[2]], inst[3], frame,
-                            elide_bound=True)
+                            elide_bound=True, span=inst[4])
                     elif op == OP_CAST:
                         regs[inst[1]] = interp._cast_value(
                             regs[inst[2]], inst[3], frame)
@@ -701,6 +715,11 @@ class VM:
                         raise _BreakSignal()
                     elif op == OP_CONT_NOLOOP:
                         raise _ContinueSignal()
+                    elif op == OP_PROFILE:
+                        # Only present in instrument()ed bodies; sits
+                        # at the chain's end so uninstrumented code
+                        # never compares against it.
+                        interp.profiler.bump(inst[1], current_mode)
                     else:  # pragma: no cover - lowering emits known ops
                         raise EntRuntimeError(f"bad opcode {op!r}")
             except EnergyException as exc:

@@ -7,9 +7,12 @@ The subsystem has four layers, each usable on its own:
   and the zero-cost :data:`NULL_TRACER`;
 * :mod:`repro.obs.metrics` — counters, streaming histograms, and the
   mode-timeline/dwell math;
-* :mod:`repro.obs.export` / :mod:`repro.obs.report` — JSONL and
-  Chrome ``trace_event`` serialization, and the mode-timeline +
-  energy-attribution report (``repro obs report``).
+* :mod:`repro.obs.prof` — the cross-engine :class:`Profiler`
+  (per-opcode/node time, call-site inline-cache stats, check-site
+  residual counts) behind ``repro profile``;
+* :mod:`repro.obs.export` / :mod:`repro.obs.report` — JSONL, Chrome
+  ``trace_event``, and Prometheus serialization, and the mode-timeline
+  + energy-attribution report (``repro obs report``).
 
 See ``docs/OBSERVABILITY.md`` for the taxonomy and workflows.
 """
@@ -19,10 +22,14 @@ from repro.obs.events import (AttributorEvent, DfallCheckEvent,
                               MeterSampleEvent, ModeTransitionEvent,
                               PlatformReadEvent, SnapshotEvent, Span,
                               TraceEvent, event_from_dict)
-from repro.obs.export import (chrome_trace, read_jsonl, write_chrome_trace,
-                              write_jsonl, write_trace)
+from repro.obs.export import (chrome_trace, read_jsonl, render_prometheus,
+                              write_chrome_trace, write_jsonl, write_trace)
 from repro.obs.metrics import (Counter, Histogram, MetricsRegistry,
                                dwell_times, mode_timeline, trace_metrics)
+from repro.obs.prof import (NULL_PROFILER, PROFILE_FORMATS, NullProfiler,
+                            Profile, Profiler, collapsed_stacks,
+                            energy_by_label, profile_chrome_trace,
+                            render_profile, site_id, write_profile)
 from repro.obs.report import (energy_attribution,
                               energy_attribution_by_scope, render_report,
                               render_timeline)
@@ -38,25 +45,37 @@ __all__ = [
     "MeterSampleEvent",
     "MetricsRegistry",
     "ModeTransitionEvent",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "NullProfiler",
     "NullTracer",
+    "PROFILE_FORMATS",
     "PlatformReadEvent",
+    "Profile",
+    "Profiler",
     "SnapshotEvent",
     "Span",
     "TraceEvent",
     "Tracer",
     "attach_platform",
     "chrome_trace",
+    "collapsed_stacks",
     "dwell_times",
     "energy_attribution",
     "energy_attribution_by_scope",
+    "energy_by_label",
     "event_from_dict",
     "mode_timeline",
+    "profile_chrome_trace",
     "read_jsonl",
+    "render_profile",
+    "render_prometheus",
     "render_report",
     "render_timeline",
+    "site_id",
     "trace_metrics",
     "write_chrome_trace",
     "write_jsonl",
+    "write_profile",
     "write_trace",
 ]

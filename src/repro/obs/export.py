@@ -20,7 +20,8 @@ from repro.obs.events import (MeterSampleEvent, Span, TraceEvent,
                               event_from_dict)
 
 __all__ = ["write_jsonl", "read_jsonl", "chrome_trace",
-           "write_chrome_trace", "write_trace", "TRACE_FORMATS"]
+           "write_chrome_trace", "write_trace", "render_prometheus",
+           "TRACE_FORMATS"]
 
 TRACE_FORMATS = ("jsonl", "chrome")
 
@@ -123,6 +124,62 @@ def write_chrome_trace(events: Sequence[TraceEvent],
         if owned:
             handle.close()
     return len(events)
+
+
+def _prom_label(value: str) -> str:
+    """Escape a Prometheus label value per the text exposition format."""
+    return (value.replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def _prom_float(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry) -> str:
+    """Render a :class:`MetricsRegistry` in the Prometheus text
+    exposition format (version 0.0.4).
+
+    Registry metric names are free-form (``op.LOAD``, ``check.dfall@3:4``)
+    and so would be illegal Prometheus metric names; they are carried as
+    a ``name`` label on three fixed families instead: ``repro_counter``,
+    ``repro_gauge``, and ``repro_histogram`` (with the conventional
+    ``_bucket``/``_sum``/``_count`` series, cumulative ``le`` buckets,
+    and a terminal ``le="+Inf"``).
+    """
+    lines: List[str] = []
+    if registry.counters:
+        lines.append("# TYPE repro_counter counter")
+        for name in sorted(registry.counters):
+            counter = registry.counters[name]
+            lines.append(f'repro_counter{{name="{_prom_label(name)}"}} '
+                         f"{_prom_float(float(counter.value))}")
+    if registry.gauges:
+        lines.append("# TYPE repro_gauge gauge")
+        for name in sorted(registry.gauges):
+            lines.append(f'repro_gauge{{name="{_prom_label(name)}"}} '
+                         f"{_prom_float(float(registry.gauges[name]))}")
+    if registry.histograms:
+        lines.append("# TYPE repro_histogram histogram")
+        for name in sorted(registry.histograms):
+            histogram = registry.histograms[name]
+            label = _prom_label(name)
+            cumulative = 0
+            for bound, bucket in zip(histogram.bounds,
+                                     histogram.bucket_counts):
+                cumulative += bucket
+                lines.append(
+                    f'repro_histogram_bucket{{name="{label}",'
+                    f'le="{_prom_float(bound)}"}} {cumulative}')
+            lines.append(f'repro_histogram_bucket{{name="{label}",'
+                         f'le="+Inf"}} {histogram.count}')
+            lines.append(f'repro_histogram_sum{{name="{label}"}} '
+                         f"{_prom_float(histogram.total)}")
+            lines.append(f'repro_histogram_count{{name="{label}"}} '
+                         f"{histogram.count}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def write_trace(events: Sequence[TraceEvent], target: Union[str, IO[str]],

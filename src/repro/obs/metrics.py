@@ -33,7 +33,15 @@ class Counter:
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"Counter.inc is monotonic: amount must be >= 0, "
+                f"got {amount} (counter {self.name!r})")
         self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's total into this one."""
+        self.value += other.value
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
@@ -85,16 +93,44 @@ class Histogram:
                 return
         self.bucket_counts[-1] += 1
 
+    def merge(self, other: "Histogram") -> None:
+        """Bucket-wise merge: quantiles of the union stay exact to the
+        same bucket resolution as if every sample had been recorded
+        here.  Requires identical bucket bounds."""
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({self.name!r} has {len(self.bounds)} bounds, "
+                f"{other.name!r} has {len(other.bounds)})")
+        for index, bucket in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper-bound estimate of the q-quantile (0 <= q <= 1)."""
+        """Upper-bound estimate of the q-quantile (0 <= q <= 1).
+
+        Edge cases are exact: an empty histogram reports 0.0 for any
+        ``q``, ``q=0.0`` reports the recorded minimum, and ``q=1.0``
+        reports the recorded maximum (so single-sample histograms
+        report that sample at both ends).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         rank = q * self.count
         running = 0
         for index, bucket in enumerate(self.bucket_counts):
@@ -136,6 +172,22 @@ class MetricsRegistry:
 
     def set_gauge(self, name: str, value: float) -> None:
         self.gauges[name] = value
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one, key-wise.
+
+        Counters add, histograms merge bucket-wise (bounds must match),
+        gauges take the other registry's value (last write wins).  The
+        operation is commutative and associative up to gauge ordering,
+        so parallel workers' registries can be folded back in any
+        order.
+        """
+        for name, counter in other.counters.items():
+            self.counter(name).merge(counter)
+        for name, histogram in other.histograms.items():
+            self.histogram(name, histogram.bounds).merge(histogram)
+        for name, value in other.gauges.items():
+            self.gauges[name] = value
 
     def as_dict(self) -> Dict[str, object]:
         return {

@@ -47,6 +47,7 @@ from repro.core.errors import EnergyException, EntError
 from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
 from repro.obs.events import (AttributorEvent, DfallCheckEvent,
                               MCaseElimEvent, SnapshotEvent, mode_name)
+from repro.obs.prof import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER, attach_platform
 from repro.runtime.ext import Ext
 from repro.runtime.tagging import TAG_ATTR, ObjectTag, ensure_tag, get_tag
@@ -103,7 +104,8 @@ class EntRuntime:
 
     def __init__(self, lattice: ModeLattice, platform=None,
                  silent: bool = False, baseline: bool = False,
-                 lazy_copy: bool = True, tracer=None) -> None:
+                 lazy_copy: bool = True, tracer=None,
+                 profiler=None) -> None:
         self.lattice = lattice
         self.ext = Ext(platform)
         self.silent = silent
@@ -111,6 +113,10 @@ class EntRuntime:
         self.lazy_copy = lazy_copy
         self.stats = RuntimeStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Check sites in the embedded API have no source spans, so the
+        # profiler keys them symbolically (``dfall@Class.method``) —
+        # counted and timed, but outside static-vs-observed's scope.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         if platform is not None:
             attach_platform(self.tracer, platform)
         self._mode_stack = [TOP]
@@ -280,6 +286,11 @@ class EntRuntime:
             if traced:
                 runtime.tracer.mode_transition(
                     "closure", runtime._mode_stack[-1], closure)
+            profiled = runtime.profiler.enabled
+            if profiled:
+                name = f"{type(obj).__name__}.{func.__name__}"
+                runtime.profiler.call(f"call@{name}", name)
+                runtime.profiler.push(name, closure)
             runtime._mode_stack.append(closure)
             runtime._self_stack.append(obj)
             try:
@@ -287,6 +298,8 @@ class EntRuntime:
             finally:
                 runtime._mode_stack.pop()
                 runtime._self_stack.pop()
+                if profiled:
+                    runtime.profiler.pop(runtime._mode_stack[-1])
                 if traced:
                     runtime.tracer.mode_transition(
                         "closure", closure, runtime._mode_stack[-1])
@@ -297,6 +310,10 @@ class EntRuntime:
     def _check_dfall(self, guard: Optional[Mode], obj: object,
                      method: str) -> None:
         self.stats.dfall_checks += 1
+        if self.profiler.enabled:
+            self.profiler.check_id(
+                f"dfall@{type(obj).__name__}.{method}", "dfall",
+                self.current_mode)
         if guard is None:
             if self.silent:
                 return
@@ -359,6 +376,10 @@ class EntRuntime:
         lo = self.mode(lower) if lower is not None else BOTTOM
         hi = self.mode(upper) if upper is not None else TOP
         self.stats.bound_checks += 1
+        if self.profiler.enabled:
+            self.profiler.check_id(
+                f"snapshot_bound@{type(obj).__name__}", "snapshot_bound",
+                self.current_mode)
         ok = self.lattice.leq(lo, mode) and self.lattice.leq(mode, hi)
         lazy = ok and self.lazy_copy and not tag.is_snapshot
         if traced:

@@ -400,7 +400,8 @@ def test_report_counts_and_serialization():
     assert sum(payload["counts"].values()) == len(report.sites)
     for check in payload["checks"]:
         assert set(check) == {"kind", "context", "description",
-                              "status", "reason", "line", "column"}
+                              "status", "reason", "line", "column",
+                              "site_id"}
     # by_kind totals must agree with the flat counts.
     totals = {status: 0 for status in (STATIC, ELIDED, RESIDUAL)}
     for bucket in payload["by_kind"].values():
@@ -453,3 +454,120 @@ def test_cli_run_no_elide_matches_default(capsys):
     default_out = capsys.readouterr().out
     assert main(["run", path, "--no-elide"]) == 0
     assert capsys.readouterr().out == default_out
+
+
+# ---------------------------------------------------------------------------
+# static-vs-observed (the runtime oracle for the elision plan)
+
+
+class _FakeProfile:
+    """Duck-typed stand-in: static_vs_observed reads only check_sites."""
+
+    def __init__(self, check_sites):
+        self.check_sites = check_sites
+
+
+def _site_report(body=None):
+    source = MODES + (body or """
+class C@mode<?X> {
+    attributor { return energy_saver; }
+    C() { }
+    int go() { return 1; }
+}
+class Main {
+    void main() {
+        C c = snapshot (new C@mode<?>());
+        c.go();
+    }
+}
+""")
+    return analyze_program(check_program(source), file="prog.ent")
+
+
+def test_checksite_site_id_scheme():
+    report = _site_report()
+    for site in report.sites:
+        if site.line is None:
+            assert site.site_id == f"{site.kind}@?"
+        else:
+            assert site.site_id \
+                == f"{site.kind}@{site.line}:{site.column}"
+    assert any(s.site_id != f"{s.kind}@?" for s in report.sites)
+    payload = report.sites[0].as_dict()
+    assert payload["site_id"] == report.sites[0].site_id
+
+
+def test_static_vs_observed_clean_when_elided_sites_silent():
+    from repro.analysis import static_vs_observed
+
+    report = _site_report()
+    elided = [s for s in report.sites if s.status == ELIDED]
+    assert elided, "fixture must have at least one elided site"
+    observed = {s.site_id: {"kind": s.kind, "executed": 0, "elided": 3}
+                for s in elided}
+    diff = static_vs_observed(report, _FakeProfile(observed))
+    assert diff.clean
+    assert len(diff.matches) == len(observed)
+    assert "clean" in diff.render()
+
+
+def test_static_vs_observed_flags_fired_elided_site():
+    from repro.analysis import static_vs_observed
+
+    report = _site_report()
+    site = next(s for s in report.sites if s.status == ELIDED)
+    observed = {site.site_id: {"kind": site.kind,
+                               "executed": 2, "elided": 0}}
+    diff = static_vs_observed(report, _FakeProfile(observed))
+    assert not diff.clean
+    assert diff.violations[0]["site"] == site.site_id
+    assert "elided" in diff.violations[0]["reason"]
+    assert "VIOLATION" in diff.render()
+    assert diff.as_dict()["clean"] is False
+
+
+def test_static_vs_observed_flags_unknown_located_site():
+    from repro.analysis import static_vs_observed
+
+    report = _site_report()
+    observed = {"dfall@999:0": {"kind": "dfall",
+                                "executed": 1, "elided": 0}}
+    diff = static_vs_observed(report, _FakeProfile(observed))
+    assert not diff.clean
+    assert "unknown" in diff.violations[0]["reason"]
+
+
+def test_static_vs_observed_tolerates_unlocatable_sites():
+    from repro.analysis import static_vs_observed
+
+    report = _site_report()
+    observed = {"dfall@?": {"kind": "dfall", "executed": 5, "elided": 0},
+                "dfall@Agent.run": {"kind": "dfall",
+                                    "executed": 9, "elided": 0}}
+    diff = static_vs_observed(report, _FakeProfile(observed))
+    assert diff.clean
+    assert len(diff.unlocated) == 2
+    assert "outside the analysis scope" in diff.render()
+
+
+def test_static_vs_observed_residual_sites_may_fire():
+    from repro.analysis import static_vs_observed
+
+    report = _site_report("""
+class C@mode<?X> {
+    attributor { return managed; }
+    C() { }
+    mcase<int> factor = mcase{
+        energy_saver: 1; managed: 2; full_throttle: 4;
+    };
+    int work() { return factor; }
+}
+class Main { void main() { } }
+""")
+    residual = [s for s in report.sites if s.status == RESIDUAL]
+    assert residual, "fixture must have at least one residual site"
+    observed = {s.site_id: {"kind": s.kind, "executed": 7, "elided": 0}
+                for s in residual}
+    diff = static_vs_observed(report, _FakeProfile(observed))
+    assert diff.clean
+    assert all("predicted" in row for row in diff.matches)

@@ -190,6 +190,71 @@ class TestObs:
         assert json.loads(out_path.read_text())["traceEvents"]
 
 
+class TestProfile:
+    @pytest.mark.parametrize("engine", ["walk", "compiled", "vm"])
+    def test_profile_reports_hot_labels(self, program, capsys, engine):
+        assert main(["profile", program(GOOD), "--engine", engine,
+                     "--checks"]) == 0
+        out = capsys.readouterr().out
+        assert f"Profile (engine={engine})" in out
+        assert "Hot labels:" in out
+        assert "Check sites:" in out
+        assert "Check totals:" in out
+        assert "static-vs-observed clean" in out
+        if engine == "vm":
+            assert "op." in out
+        else:
+            assert "node." in out
+
+    def test_profile_vm_reports_ic_and_check_sites(self, program, capsys):
+        assert main(["profile", program(GOOD), "--engine", "vm",
+                     "--checks"]) == 0
+        out = capsys.readouterr().out
+        assert "Call sites:" in out
+        assert "ic hit rate" in out
+        assert "snapshot_bound@" in out
+
+    def test_profile_json_payload(self, program, capsys):
+        assert main(["profile", program(GOOD), "--engine", "vm",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"]["engine"] == "vm"
+        assert payload["profile"]["labels"]
+        assert payload["static_vs_observed"]["clean"] is True
+
+    def test_profile_no_elide_skips_diff(self, program, capsys):
+        assert main(["profile", program(GOOD), "--no-elide",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "static_vs_observed" not in payload
+
+    def test_profile_energy_column(self, program, capsys):
+        assert main(["profile", program(GOOD), "--engine", "vm",
+                     "--energy", "--system", "A"]) == 0
+        assert "joules" in capsys.readouterr().out
+
+    def test_profile_out_formats(self, program, capsys, tmp_path):
+        path = program(GOOD)
+        out = tmp_path / "p.json"
+        assert main(["profile", path, "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["labels"]
+        collapsed = tmp_path / "p.collapsed"
+        assert main(["profile", path, "--out", str(collapsed),
+                     "--format", "collapsed"]) == 0
+        assert collapsed.read_text().strip()
+        chrome = tmp_path / "p.chrome.json"
+        assert main(["profile", path, "--out", str(chrome),
+                     "--format", "chrome"]) == 0
+        assert json.loads(chrome.read_text())["traceEvents"]
+        capsys.readouterr()
+
+    def test_profile_energy_exception_exit_code(self, program, capsys):
+        assert main(["profile", program(THROWING)]) == 3
+        captured = capsys.readouterr()
+        assert "EnergyException" in captured.err
+        assert "Profile" in captured.out
+
+
 class TestPrettyAndTokens:
     def test_pretty_reparses(self, program, capsys, tmp_path):
         assert main(["pretty", program(GOOD)]) == 0

@@ -102,3 +102,43 @@ class TestRunEpisodes:
         run_episodes(tasks, jobs=2, tracer=tracer, trace_capacity=4)
         assert len(tracer.events()) == 4
         assert tracer.dropped > 0
+
+    def test_profiles_merge_identically_to_serial(self):
+        from repro.obs.prof import Profiler
+
+        tasks = [_e1_task(("a",), FT, MG), _e1_task(("b",), MG, FT),
+                 _e1_task(("c",), FT, MG, seed=1)]
+        serial = Profiler("embedded")
+        run_episodes(tasks, profiler=serial)
+        serial.finish()
+        parallel = Profiler("embedded")
+        run_episodes(tasks, jobs=2, profiler=parallel)
+        parallel.finish()
+        assert parallel.profile.check_sites == serial.profile.check_sites
+        serial_calls = {sid: entry["calls"] for sid, entry
+                        in serial.profile.call_sites.items()}
+        parallel_calls = {sid: entry["calls"] for sid, entry
+                          in parallel.profile.call_sites.items()}
+        assert parallel_calls == serial_calls
+        # Label *counts* (not times) are scheduling-independent too.
+        serial_counts = {name: h.count for name, h
+                         in serial.profile.registry.histograms.items()}
+        parallel_counts = {name: h.count for name, h
+                           in parallel.profile.registry.histograms.items()}
+        assert parallel_counts == serial_counts
+
+    def test_profile_merge_is_submission_order_independent(self):
+        from repro.obs.prof import Profiler
+
+        tasks = [_e1_task(("a",), FT, MG), _e1_task(("b",), MG, FT)]
+        forward = Profiler("embedded")
+        run_episodes(tasks, jobs=2, profiler=forward)
+        backward = Profiler("embedded")
+        run_episodes(list(reversed(tasks)), jobs=2, profiler=backward)
+        assert forward.profile.check_sites == backward.profile.check_sites
+        assert forward.profile.call_sites == backward.profile.call_sites
+
+    def test_disabled_profiler_ships_no_profiles(self):
+        tasks = [_e1_task(("a",), FT, MG), _e1_task(("b",), MG, FT)]
+        results = run_episodes(tasks, jobs=2)
+        assert set(results) == {("a",), ("b",)}

@@ -288,3 +288,146 @@ class TestLedgerValidation:
         platform = make_platform("A", seed=0)
         platform.ledger.add("io_j", 2.5)
         assert platform.ledger.io_j == pytest.approx(2.5)
+
+
+class TestMetricsMerge:
+    def test_counter_inc_rejects_negative(self):
+        from repro.obs.metrics import Counter
+        counter = Counter("n")
+        with pytest.raises(ValueError, match="monotonic"):
+            counter.inc(-1)
+        counter.inc(0)
+        counter.inc(3)
+        assert counter.value == 3
+
+    def test_histogram_merge_bucketwise(self):
+        a = Histogram("lat", bounds=[1.0, 10.0])
+        b = Histogram("lat", bounds=[1.0, 10.0])
+        for value in (0.5, 2.0):
+            a.record(value)
+        for value in (5.0, 50.0):
+            b.record(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == pytest.approx(57.5)
+        assert a.min == 0.5
+        assert a.max == 50.0
+        assert a.bucket_counts == [1, 2, 1]
+
+    def test_histogram_merge_rejects_different_bounds(self):
+        a = Histogram("a", bounds=[1.0])
+        b = Histogram("b", bounds=[1.0, 2.0])
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge(b)
+
+    def test_registry_merge_keyed(self):
+        from repro.obs.metrics import MetricsRegistry
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("shared").inc(1)
+        b.counter("shared").inc(2)
+        b.counter("only_b").inc(5)
+        a.histogram("h", (1.0,)).record(0.5)
+        b.histogram("h", (1.0,)).record(2.0)
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 9.0)
+        a.merge(b)
+        assert a.counters["shared"].value == 3
+        assert a.counters["only_b"].value == 5
+        assert a.histograms["h"].count == 2
+        assert a.gauges["g"] == 9.0  # last write wins
+
+    def test_registry_merge_is_commutative_on_counts(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        def build(values):
+            registry = MetricsRegistry()
+            for name, amount in values:
+                registry.counter(name).inc(amount)
+            return registry
+
+        left = build([("x", 1), ("y", 2)])
+        left.merge(build([("y", 3), ("z", 4)]))
+        right = build([("y", 3), ("z", 4)])
+        right.merge(build([("x", 1), ("y", 2)]))
+        assert {n: c.value for n, c in left.counters.items()} \
+            == {n: c.value for n, c in right.counters.items()}
+
+
+class TestQuantileEdges:
+    def test_empty_histogram(self):
+        hist = Histogram("h", bounds=[1.0])
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(1.0) == 0.0
+        assert hist.mean == 0.0
+
+    def test_q0_and_q1_are_exact(self):
+        hist = Histogram("h", bounds=[1.0, 10.0])
+        for value in (0.25, 3.0, 42.0):
+            hist.record(value)
+        assert hist.quantile(0.0) == 0.25
+        assert hist.quantile(1.0) == 42.0
+
+    def test_single_sample(self):
+        hist = Histogram("h", bounds=[1.0])
+        hist.record(0.7)
+        assert hist.quantile(0.0) == 0.7
+        assert hist.quantile(0.5) == 1.0  # bucket upper bound
+        assert hist.quantile(1.0) == 0.7
+        assert hist.mean == pytest.approx(0.7)
+
+    def test_out_of_range_q_rejected(self):
+        hist = Histogram("h")
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.1)
+
+
+class TestPrometheus:
+    def make_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        registry.counter("op.ADD").inc(7)
+        registry.set_gauge("dwell_s.managed", 2.0)
+        hist = registry.histogram("lat", (0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.record(value)
+        return registry
+
+    def test_families_and_series(self):
+        from repro.obs.export import render_prometheus
+        text = render_prometheus(self.make_registry())
+        assert "# TYPE repro_counter counter" in text
+        assert 'repro_counter{name="op.ADD"} 7' in text
+        assert 'repro_gauge{name="dwell_s.managed"} 2' in text
+        assert 'repro_histogram_bucket{name="lat",le="0.1"} 1' in text
+        assert 'repro_histogram_bucket{name="lat",le="1"} 2' in text
+        assert 'repro_histogram_bucket{name="lat",le="+Inf"} 3' in text
+        assert 'repro_histogram_sum{name="lat"} 5.55' in text
+        assert 'repro_histogram_count{name="lat"} 3' in text
+        assert text.endswith("\n")
+
+    def test_buckets_are_cumulative(self):
+        from repro.obs.export import render_prometheus
+        lines = [line for line in
+                 render_prometheus(self.make_registry()).splitlines()
+                 if line.startswith("repro_histogram_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_label_escaping(self):
+        from repro.obs.export import render_prometheus
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        registry.counter('weird\\name"with\nstuff').inc(1)
+        text = render_prometheus(registry)
+        assert ('repro_counter{name="weird\\\\name\\"with\\nstuff"} 1'
+                in text)
+        assert "\n" not in text.splitlines()[1].replace("\\n", "")
+
+    def test_empty_registry_renders_empty(self):
+        from repro.obs.export import render_prometheus
+        from repro.obs.metrics import MetricsRegistry
+        assert render_prometheus(MetricsRegistry()) == ""

@@ -286,3 +286,44 @@ class TestThermalRuntime:
         rt = EntRuntime.thermal()
         assert rt.lattice.leq(Mode("overheating"), Mode("safe"))
         assert rt.lattice.leq(Mode("hot"), Mode("safe"))
+
+
+class TestEmbeddedProfiling:
+    def test_profiler_counts_symbolic_sites(self):
+        from repro.obs.prof import Profiler
+
+        profiler = Profiler("embedded")
+        rt = EntRuntime.standard(profiler=profiler)
+        Site = make_site(rt)
+        site = rt.snapshot(Site(100))
+        with rt.booted("full_throttle"):
+            site.crawl()
+        profiler.finish()
+        profile = profiler.profile
+        assert profile.check_sites["snapshot_bound@Site"]["executed"] \
+            == rt.stats.bound_checks
+        assert profile.check_sites["dfall@Site.crawl"]["executed"] >= 1
+        assert profile.call_sites["call@Site.crawl"]["calls"] == 1
+        assert "Site.crawl" in " ".join(profile.stack_time)
+
+    def test_profiling_does_not_change_results_or_stats(self):
+        from repro.obs.prof import Profiler
+
+        def episode(profiler=None):
+            rt = EntRuntime.standard(profiler=profiler)
+            Site = make_site(rt)
+            site = rt.snapshot(Site(100))
+            with rt.booted("full_throttle"):
+                result = site.crawl()
+            return result, rt.stats.as_dict()
+
+        plain = episode()
+        profiler = Profiler("embedded")
+        profiled = episode(profiler)
+        profiler.finish()
+        assert plain == profiled
+
+    def test_default_runtime_uses_null_profiler(self):
+        from repro.obs.prof import NULL_PROFILER
+
+        assert EntRuntime.standard().profiler is NULL_PROFILER
