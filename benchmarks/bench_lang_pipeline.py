@@ -131,10 +131,10 @@ def _hot_checked_elided():
 HOT_ELIDED = _hot_checked_elided()
 
 
-@pytest.mark.parametrize("engine", ["walk", "compiled", "vm"])
+@pytest.mark.parametrize("engine", ["walk", "compiled", "vm", "jit"])
 def test_bench_execution_engines(benchmark, engine):
-    """Tree walk vs closure compiler vs register VM on a message-heavy
-    hot loop."""
+    """Tree walk vs closure compiler vs register VM vs the VM's
+    trace-JIT tier on a message-heavy hot loop."""
 
     def run():
         interp = Interpreter(
@@ -147,7 +147,7 @@ def test_bench_execution_engines(benchmark, engine):
     assert interp.output == ["23997"]
 
 
-@pytest.mark.parametrize("engine", ["walk", "compiled", "vm"])
+@pytest.mark.parametrize("engine", ["walk", "compiled", "vm", "jit"])
 def test_bench_check_elision(benchmark, engine):
     """The hot loop with repro.analysis check elision planned in."""
 
@@ -196,10 +196,10 @@ def test_bench_smallstep_kernel(benchmark):
 #: Keys the CI smoke job guards against regression.  The interpreter hot
 #: loop is the canonical "is the lang pipeline still fast?" signal.
 SMOKE_KEYS = ("hot_loop_walk_s", "hot_loop_compiled_s", "hot_loop_vm_s",
-              "typechecker_s")
+              "hot_loop_jit_s", "typechecker_s")
 
 #: Execution engines every hot-loop scenario is measured under.
-ENGINES = ("walk", "compiled", "vm")
+ENGINES = ("walk", "compiled", "vm", "jit")
 
 
 def _sample(fn, repeats):

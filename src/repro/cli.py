@@ -24,12 +24,16 @@ Usage (installed as ``python -m repro``)::
     --seed N        RNG / platform seed
     --stats         print run statistics as one JSON object (stderr)
     --no-elide      keep every dynamic check (disable repro.analysis)
-    --engine E      execution engine: walk, compiled or vm (docs/VM.md)
+    --engine E      execution engine: walk, compiled, vm or jit
+                    (docs/VM.md, docs/PERFORMANCE.md)
 
 ``disasm`` lowers a program to the VM's register bytecode and
 pretty-prints every body with check-instruction annotations; with the
 elision planner on (the default), proven-safe checks appear as their
-elided opcodes.
+elided opcodes.  ``disasm --jit`` runs the program under the JIT tier
+first, then prints the specialized Python source the JIT emitted for
+each body (bodies that never got hot are emitted speculatively from
+their cold inline caches).
 
 ``analyze`` runs the static-analysis subsystem (``repro.analysis``)
 and prints one line per dynamic-check obligation — elided checks are
@@ -99,8 +103,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable the lazy-copy optimization")
     run.add_argument("--engine", choices=list(ENGINES), default=None,
                      help="execution engine: walk (reference, default), "
-                          "compiled (closure compiler) or vm (register "
-                          "bytecode, fastest) — see docs/VM.md")
+                          "compiled (closure compiler), vm (register "
+                          "bytecode) or jit (VM + trace-JIT tier, "
+                          "fastest on hot code) — see docs/VM.md")
     run.add_argument("--compile", action="store_true",
                      help="deprecated alias for --engine compiled")
     run.add_argument("--no-inline-caches", action="store_true",
@@ -208,6 +213,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "check (skip the elision planner)")
     disasm.add_argument("--lenient-mcase", action="store_true",
                         help="do not require full mode-case coverage")
+    disasm.add_argument("--jit", action="store_true",
+                        help="run the program under --engine jit, then "
+                             "print the specialized Python source the "
+                             "JIT emitted per body (cold bodies are "
+                             "emitted speculatively)")
 
     pretty = sub.add_parser("pretty", help="parse and pretty-print")
     pretty.add_argument("file")
@@ -442,6 +452,12 @@ def _cmd_disasm(args) -> int:
     annotations, and checks the planner proved away are lowered to
     their ``*_NODFALL`` / ``*_ELIDE`` forms (compare with and without
     ``--no-elide`` to see the handoff).
+
+    With ``--jit`` the program first *runs* under ``--engine jit`` (so
+    inline caches warm up and hot bodies actually compile), then each
+    body prints as the specialized Python the JIT emitted — installed
+    source for bodies that got hot, a speculative cold emission for the
+    rest.
     """
     from repro.lang.bytecode import disassemble
 
@@ -451,28 +467,55 @@ def _cmd_disasm(args) -> int:
     if not args.no_elide:
         from repro.analysis import plan_elisions
         plan_elisions(checked)
+    engine = "jit" if args.jit else "vm"
     interp = Interpreter(
         checked,
-        options=InterpOptions(engine="vm",
+        options=InterpOptions(engine=engine, fuel=5_000_000,
                               elide_checks=not args.no_elide))
     vm = interp._vm
+    if args.jit:
+        from repro.core.errors import EntRuntimeError
+        try:
+            # Warm-up run: populates the per-site inline caches and
+            # compiles whatever crosses the hotness thresholds.  The
+            # program's own outcome (EnergyException, fuel, …) does not
+            # matter here — only the compiled artifacts do.
+            interp.run([])
+        except EntRuntimeError:
+            pass
+
+    def render(code):
+        if not args.jit:
+            return disassemble(code)
+        title = code.name or "<body>"
+        if code.jit_src is not None:
+            return (f";; {title} — compiled at runtime "
+                    f"(version {code.jit_versions})\n{code.jit_src}")
+        from repro.lang.jit import JITUnsupported, jit_source
+        try:
+            src = jit_source(vm, code)
+        except JITUnsupported as exc:
+            return f";; {title} — JIT bailout: {exc}"
+        return (f";; {title} — cold at runtime; speculative emission "
+                f"from the current inline caches\n{src}")
+
     chunks = []
     for cls in checked.program.classes:
         info = interp.table.get(cls.name)
         if cls.constructor is not None:
             ctor = cls.constructor
-            chunks.append(disassemble(vm._lower(
+            chunks.append(render(vm._lower(
                 ctor.body, [p.name for p in ctor.params], (),
                 f"{cls.name}.<init>")))
         if cls.attributor is not None:
-            chunks.append(disassemble(vm._lower(
+            chunks.append(render(vm._lower(
                 cls.attributor.body, [], (),
                 f"{cls.name}.<attributor>")))
         for method in cls.methods:
             minfo = interp._find_method(info, method.name)
-            chunks.append(disassemble(vm.code_for_method(minfo)))
+            chunks.append(render(vm.code_for_method(minfo)))
             if method.attributor is not None:
-                chunks.append(disassemble(vm._lower(
+                chunks.append(render(vm._lower(
                     method.attributor.body, minfo.param_names,
                     interp._wants_for(minfo),
                     f"{cls.name}.{method.name}.<attributor>")))

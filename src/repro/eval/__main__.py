@@ -88,12 +88,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="e3 work units (default: benchmark's)")
     episode.add_argument("--silent", action="store_true",
                          help="e1 silent build")
+    from repro.lang.engines import ENGINES
     episode.add_argument("--engine", default=None,
-                         choices=["walk", "compiled", "vm"],
+                         choices=list(ENGINES),
                          help="repro.lang engine to record for the "
-                              "episode (walk, compiled or vm); "
-                              "episodes run through the embedded API, "
-                              "so this is validated provenance")
+                              "episode (the engine registry: walk, "
+                              "compiled, vm or jit); episodes run "
+                              "through the embedded API, so this is "
+                              "validated provenance")
     episode.add_argument("--seed", type=int, default=0)
     episode.add_argument("--trace", metavar="PATH", required=True,
                          help="write the episode trace to PATH")

@@ -166,10 +166,20 @@ _NEVER_MCASE = frozenset({
 
 class VMCode:
     """A lowered body: instruction tuple plus the register-file template
-    (``[None] * n_slots + reversed(consts)``; see module docstring)."""
+    (``[None] * n_slots + reversed(consts)``; see module docstring).
+
+    The trailing slots are the JIT tier's per-body state (see
+    :mod:`repro.lang.jit`): ``heat`` counts loop-head charges toward the
+    OSR threshold, ``jit``/``jit_src`` hold the installed entry point
+    and its emitted Python source, ``jit_deopts`` counts guard failures
+    since the last (re)compile, and ``jit_versions`` counts compiles so
+    repeatedly-deoptimizing bodies can be blacklisted back to the VM.
+    All stay at their zero values unless the interpreter runs with
+    ``engine="jit"``."""
 
     __slots__ = ("instrs", "template", "nparams", "n_slots", "consts",
-                 "name", "param_names")
+                 "name", "param_names", "heat", "jit", "jit_src",
+                 "jit_deopts", "jit_versions")
 
     def __init__(self, instrs, template, nparams, n_slots, consts,
                  name, param_names) -> None:
@@ -180,6 +190,11 @@ class VMCode:
         self.consts = consts
         self.name = name
         self.param_names = param_names
+        self.heat = 0
+        self.jit = None
+        self.jit_src = None
+        self.jit_deopts = 0
+        self.jit_versions = 0
 
 
 class CallSite:
@@ -189,7 +204,8 @@ class CallSite:
     -> ``(minfo, wants, leaf code or None, transparent)``)."""
 
     __slots__ = ("name", "span", "arg_regs", "arg_elims", "any_elim",
-                 "elide_dfall", "recv_is_this", "raw_result", "ic")
+                 "elide_dfall", "recv_is_this", "raw_result", "ic",
+                 "heat")
 
     def __init__(self, name, span, arg_regs, arg_elims, elide_dfall,
                  recv_is_this, raw_result) -> None:
@@ -209,6 +225,9 @@ class CallSite:
         #: result is handed back un-eliminated.
         self.raw_result = raw_result
         self.ic: Dict[str, tuple] = {}
+        #: Sends through this site toward the JIT's per-call-site
+        #: hotness threshold (engine="jit" only; see repro.lang.jit).
+        self.heat = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<site .{self.name} args={self.arg_regs}>"

@@ -639,11 +639,16 @@ def _compile_call(interp, expr: ast.MethodCall,
                     raise StuckError(
                         f"no method {name!r} on class "
                         f"{receiver.class_info.name}")
+                # Select per-argument over ALL argument codes (an
+                # over-applied extra evaluates eliminating and is then
+                # blamed by ``_invoke``'s arity check, like the walk).
+                ptypes = minfo.param_types
+                nptypes = len(ptypes)
                 codes = tuple(
-                    raw if isinstance(ptype, ty.MCaseType) else std
-                    for (std, raw), ptype in zip(
-                        zip(arg_codes, arg_codes_raw),
-                        minfo.param_types))
+                    raw if i < nptypes
+                    and isinstance(ptypes[i], ty.MCaseType) else std
+                    for i, (std, raw) in enumerate(
+                        zip(arg_codes, arg_codes_raw)))
                 entry = (minfo, codes)
                 if inline:
                     ic[receiver.class_info.name] = entry

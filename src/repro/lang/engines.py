@@ -1,6 +1,6 @@
 """Execution-engine registry for the ENT interpreter.
 
-Three engines execute typechecked programs with identical observable
+Four engines execute typechecked programs with identical observable
 behaviour (output, stats, exceptions — everything except ``steps``):
 
 ``walk``
@@ -11,8 +11,13 @@ behaviour (output, stats, exceptions — everything except ``steps``):
     Python closures.
 ``vm``
     The register-bytecode VM (``repro.lang.bytecode`` +
-    ``repro.lang.vm``).  Fastest; dynamic checks are explicit, counted
+    ``repro.lang.vm``).  Dynamic checks are explicit, counted
     instructions.  See ``docs/VM.md``.
+``jit``
+    The VM plus the trace-JIT tier (``repro.lang.jit``): hot bodies
+    compile to specialized Python with receiver-class guards and
+    planner-proven checks elided, deoptimizing back to the VM when a
+    guard fails.  Fastest on hot code; identical observables.
 
 ``resolve_engine`` is the single place the deprecated ``--compile``
 boolean is folded into the engine choice.
@@ -22,7 +27,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-ENGINES = ("walk", "compiled", "vm")
+ENGINES = ("walk", "compiled", "vm", "jit")
 
 DEFAULT_ENGINE = "walk"
 

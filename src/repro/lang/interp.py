@@ -133,11 +133,13 @@ class InterpOptions:
     #: planner's facts no longer entail the guards).
     elide_checks: bool = True
     #: Execution engine: ``"walk"`` (tree walk), ``"compiled"``
-    #: (closure compiler) or ``"vm"`` (register bytecode; see
-    #: ``docs/VM.md``).  ``None`` defers to the legacy ``compile`` flag
-    #: (``True`` -> compiled, ``False`` -> walk).  All three engines are
-    #: observably identical up to ``steps``; the differential suite in
-    #: ``tests/property/test_vm_agreement.py`` enforces it.
+    #: (closure compiler), ``"vm"`` (register bytecode; see
+    #: ``docs/VM.md``) or ``"jit"`` (the VM plus the trace-JIT tier;
+    #: see ``repro.lang.jit``).  ``None`` defers to the legacy
+    #: ``compile`` flag (``True`` -> compiled, ``False`` -> walk).  All
+    #: four engines are observably identical up to ``steps``; the
+    #: differential suite in ``tests/property/test_vm_agreement.py``
+    #: enforces it.
     engine: Optional[str] = None
 
 
@@ -325,6 +327,12 @@ class Interpreter:
         #: id(MethodInfo) -> per-parameter wants-mcase tuple (static
         #: typed data, like ``_mode_by_name``; always on).
         self._param_wants: Dict[int, tuple] = {}
+        #: Strong references backing the three id()-keyed caches above:
+        #: a collected node's id can be reused by a different object,
+        #: which would alias cache entries.  Every key's object is
+        #: pinned on insert (zero cost on the hit path); the VM keeps
+        #: the same invariant for its own code caches.
+        self._cache_pins: List[object] = []
         #: Effective mode of the object a just-read mcase field belongs
         #: to; consumed by ``_eval`` for implicit elimination.
         self._elim_owner: Optional[Mode] = None
@@ -336,9 +344,9 @@ class Interpreter:
             self.options.engine, compile_flag=self.options.compile)
         self._compile_on = engine == "compiled"
         self._vm = None
-        if engine == "vm":
-            from repro.lang.vm import VM
-            self._vm = VM(self)
+        if engine == "vm" or engine == "jit":
+            from repro.lang.vm import VM, JITVM
+            self._vm = JITVM(self) if engine == "jit" else VM(self)
             self._call_body = self._vm.call_body
         elif engine == "compiled":
             self._call_body = self._call_body_compiled
@@ -617,6 +625,11 @@ class Interpreter:
                 raise EntRuntimeError(
                     f"class {info.name} has no constructor")
         else:
+            if len(arg_values) != len(ctor.params):
+                raise StuckError(
+                    f"constructor of class {info.name} expects "
+                    f"{len(ctor.params)} argument(s), "
+                    f"got {len(arg_values)}")
             ctor_frame = _Frame(this_obj=obj, mode_env=env,
                                 current_mode=frame.current_mode)
             # Return value (if any) discarded; ``new`` yields the object.
@@ -630,6 +643,13 @@ class Interpreter:
     def _invoke(self, receiver: ObjectV, minfo: MethodInfo,
                 args: List[object], frame: _Frame, self_call: bool,
                 span, elide_dfall: bool = False) -> object:
+        if len(args) != len(minfo.param_names):
+            # Before any accounting: the send never happens, so every
+            # engine reports identical stats alongside the blame.
+            raise StuckError(
+                f"method {minfo.owner}.{minfo.name} expects "
+                f"{len(minfo.param_names)} argument(s), "
+                f"got {len(args)}")
         self.stats.messages += 1
         # The receiver's mode environment is only copied when a method-
         # level binding extends it; bodies never mutate it.
@@ -724,6 +744,12 @@ class Interpreter:
                         args, wants=()) -> object:
         """Tree-walk a body; returns the returned value or
         ``_NO_RETURN`` when the body falls off the end."""
+        if len(args) != len(param_names):
+            # Backstop (callers blame arity first): never bind a body
+            # with silently dropped or missing parameters.
+            raise StuckError(
+                f"body expects {len(param_names)} argument(s), "
+                f"got {len(args)}")
         frame.locals.append(dict(zip(param_names, args)))
         try:
             self._exec_block(block, frame)
@@ -747,6 +773,7 @@ class Interpreter:
             wants = tuple(isinstance(p, ty.MCaseType)
                           for p in minfo.param_types)
             self._param_wants[id(minfo)] = wants
+            self._cache_pins.append(minfo)
         return wants
 
     def _run_compiled_body(self, block: ast.Block, param_names,
@@ -758,10 +785,12 @@ class Interpreter:
             from repro.lang.compiler import compile_body
             entry = compile_body(self, block, param_names)
             self._body_cache[id(block)] = entry
+            self._cache_pins.append(block)
         code, n_slots = entry
         nparams = len(param_names)
-        if len(args) > nparams:
-            args = args[:nparams]
+        if len(args) != nparams:
+            raise StuckError(
+                f"body expects {nparams} argument(s), got {len(args)}")
         slots = list(args)
         if len(slots) < n_slots:
             slots.extend([None] * (n_slots - len(slots)))
@@ -873,6 +902,7 @@ class Interpreter:
                 from repro.lang.compiler import compile_expr
                 code = compile_expr(self, expr, want_mcase=want_mcase)
                 self._init_code_cache[key] = code
+                self._cache_pins.append(expr)
             return code(frame)
         return self._eval(expr, frame, want_mcase=want_mcase)
 
@@ -1262,12 +1292,17 @@ class Interpreter:
                     f"no method {expr.name!r} on class "
                     f"{receiver.class_info.name}")
             wants = self._wants_for(minfo)
+            nwants = len(wants)
             args = []
             append = args.append
-            for arg_expr, w in zip(expr.args, wants):
+            # Every argument evaluates — including over-application
+            # extras beyond the parameter list (eliminated, like any
+            # non-mcase-wanting position) — so the arity blame in
+            # ``_invoke`` lands on identical stats across engines.
+            for i, arg_expr in enumerate(expr.args):
                 if arg_expr.__class__ is ast.Binary:
                     append(self._eval_binary(arg_expr, frame, False))
-                elif w:
+                elif i < nwants and wants[i]:
                     append(self._eval(arg_expr, frame, True))
                 else:
                     append(self._eval_leaf(arg_expr, frame))

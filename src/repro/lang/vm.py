@@ -58,13 +58,34 @@ from repro.lang.natives import (NATIVE_STATIC_CLASSES, call_list_method,
 from repro.lang.values import MCaseV, ObjectV
 from repro.obs.prof import site_id
 
-__all__ = ["VM"]
+__all__ = ["VM", "JITVM"]
+
+#: Inline caches stop growing at the profiler's megamorphic threshold
+#: (:func:`repro.obs.prof.ic_class`): past ``_IC_CAP`` distinct receiver
+#: classes a site dispatches uncached, so a megamorphic site costs one
+#: method lookup per send instead of unbounded cache growth.
+_IC_CAP = 4
+
+#: Per-argument "no elimination" sentinel for :meth:`VM._site_send`.
+#: The JIT passes resolved elimination *modes* (the descriptor registers
+#: are dead by then), and a mode can legitimately be ``None``, so the
+#: "descriptor was None" case needs its own marker.
+_SKIP_ELIM = object()
+
+#: Heat sentinel: far enough below any threshold that a blacklisted
+#: body's counter can keep incrementing without ever re-triggering.
+_COLD = -(1 << 60)
 
 
 class VM:
     """Per-interpreter VM state: lowered-code caches and the dispatch
     loop.  One instance per :class:`~repro.lang.interp.Interpreter`
     (created when ``engine="vm"``)."""
+
+    #: The JIT tier gate, probed on the hot paths; only the
+    #: :class:`JITVM` subclass ever sets it (and only when the leaf
+    #: fast path is on), so the plain VM pays one false branch.
+    _jit_on = False
 
     def __init__(self, interp) -> None:
         self.interp = interp
@@ -73,6 +94,12 @@ class VM:
         self._codes = {}
         #: (id(expr), want_mcase) -> VMCode for field initializers.
         self._expr_codes = {}
+        #: Strong references backing the two id()-keyed caches above:
+        #: if a cached AST node were garbage collected, its id could be
+        #: reused by a *different* node and the cache would serve the
+        #: wrong code.  Pinning every key's node makes the ids stable
+        #: for the VM's lifetime (zero cost on the hit path).
+        self._pins = []
         #: Leaf-call fast path gate: traced and profiled runs must go
         #: through ``_invoke`` so mode-transition events / call-site
         #: profiles are emitted.
@@ -101,6 +128,7 @@ class VM:
             if self.interp.profiler.enabled:
                 code = instrument(code)
             self._codes[id(block)] = code
+            self._pins.append(block)
         return code
 
     def call_body(self, block, param_names, frame, args, wants=()):
@@ -108,12 +136,24 @@ class VM:
         value, or ``interp._NO_RETURN`` when the body falls off the
         end."""
         code = self._lower(block, param_names, wants, None)
+        if len(args) != code.nparams:
+            # Callers (``_invoke``, ``_construct``) check arity with the
+            # proper blame; this backstop keeps a direct-API misuse from
+            # silently truncating or zero-filling parameters.
+            raise StuckError(
+                f"body expects {code.nparams} argument(s), "
+                f"got {len(args)}")
         regs = code.template.copy()
         if args:
-            nparams = code.nparams
-            if len(args) > nparams:
-                args = args[:nparams]
             regs[:len(args)] = args
+        if self._jit_on:
+            jfn = code.jit
+            if jfn is None:
+                code.heat = heat = code.heat + 1
+                if heat >= self._hot_call:
+                    jfn = self._jit_compile(code)
+            if jfn is not None:
+                return jfn(self, regs, frame, -1)
         return self._run(code, regs, frame)
 
     def execute_expr(self, expr, frame, want_mcase=False):
@@ -125,6 +165,7 @@ class VM:
             if self.interp.profiler.enabled:
                 code = instrument(code)
             self._expr_codes[key] = code
+            self._pins.append(expr)
         return self._run(code, code.template.copy(), frame)
 
     def code_for_method(self, minfo) -> VMCode:
@@ -151,12 +192,75 @@ class VM:
                 and minfo.decl is not None):
             code = self.code_for_method(minfo)
         entry = (minfo, wants, code, receiver.class_info.transparent)
+        reported = len(site.ic)
         if interp.options.inline_caches:
-            site.ic[receiver.class_info.name] = entry
+            if reported < _IC_CAP:
+                site.ic[receiver.class_info.name] = entry
+                reported += 1
+            else:
+                # Megamorphic: the cache stays capped and this receiver
+                # class dispatches uncached; report one past the cap so
+                # the profiler's mono/poly/mega classification still
+                # lands on "mega".
+                reported = _IC_CAP + 1
         if interp.profiler.enabled:
             interp.profiler.ic_miss(site_id("call", site.span),
-                                    site.name, len(site.ic))
+                                    site.name, reported)
         return entry
+
+    def _site_send(self, site, receiver, argv, elim_modes, frame,
+                   self_call):
+        """Generic send for JIT-compiled code: a receiver-class guard
+        failed (deopt) or the site never specialized.  Semantics —
+        stats, check counts, blame messages — replicate the dispatch
+        loop's CALL handler exactly, with the deferred eliminations
+        already resolved to modes (``elim_modes`` pairs ``argv``;
+        ``_SKIP_ELIM`` marks arguments whose descriptor was ``None``).
+        Dispatch goes through ``_invoke`` rather than the leaf path:
+        observables are identical and deopts are rare by construction.
+        """
+        interp = self.interp
+        current_mode = frame.current_mode
+        if receiver.__class__ is ObjectV:
+            entry = (site.ic.get(receiver.class_info.name)
+                     or self._ic_miss(site, receiver))
+            minfo, wants, _callee, _transparent = entry
+            nparams = len(minfo.param_names)
+            if site.any_elim:
+                for i, v in enumerate(argv):
+                    if (v.__class__ is MCaseV
+                            and (i >= nparams or not wants[i])):
+                        mode = elim_modes[i]
+                        if mode is _SKIP_ELIM:
+                            continue
+                        argv[i] = interp._elim_with_mode(v, mode)
+            if len(argv) != nparams:
+                raise StuckError(
+                    f"method {minfo.owner}.{minfo.name} expects "
+                    f"{nparams} argument(s), got {len(argv)}")
+            value = interp._invoke(receiver, minfo, argv, frame,
+                                   self_call=self_call, span=site.span,
+                                   elide_dfall=site.elide_dfall)
+            if value.__class__ is MCaseV and not site.raw_result:
+                value = interp._elim_with_mode(value, current_mode)
+            return value
+        if site.any_elim:
+            for i, v in enumerate(argv):
+                if v.__class__ is MCaseV:
+                    mode = elim_modes[i]
+                    if mode is _SKIP_ELIM:
+                        continue
+                    argv[i] = interp._elim_with_mode(v, mode)
+        name = site.name
+        if isinstance(receiver, _NativeRef):
+            return call_native_static(interp, receiver.name, name, argv)
+        if isinstance(receiver, str):
+            return call_string_method(interp, receiver, name, argv)
+        if isinstance(receiver, list):
+            return call_list_method(interp, receiver, name, argv)
+        if receiver is None:
+            raise StuckError(f"null receiver for method {name!r}")
+        raise StuckError(f"cannot invoke {name!r} on {receiver!r}")
 
     # ------------------------------------------------------------------
     # The dispatch loop
@@ -188,6 +292,19 @@ class VM:
                             raise FuelExhausted(
                                 f"evaluation exceeded {fuel} steps "
                                 f"(divergence bound)")
+                        if self._jit_on and not handlers:
+                            # On-stack replacement: a hot loop head
+                            # transfers this activation's live register
+                            # file into the compiled body (``pc`` is
+                            # already past the charge, which is exactly
+                            # where the JIT's OSR entry resumes).
+                            jfn = code.jit
+                            if jfn is None:
+                                code.heat = h = code.heat + 1
+                                if h >= self._hot_loop:
+                                    jfn = self._jit_compile(code)
+                            if jfn is not None:
+                                return jfn(self, regs, frame, pc)
                     elif op == OP_JF_LT:
                         a = regs[inst[2]]
                         b = regs[inst[3]]
@@ -260,19 +377,27 @@ class VM:
                             minfo, wants, callee, transparent = entry
                             argv = [regs[r] for r in site.arg_regs]
                             nparams = len(minfo.param_names)
-                            if len(argv) > nparams:
-                                del argv[nparams:]
                             if site.any_elim:
                                 elims = site.arg_elims
                                 for i, v in enumerate(argv):
                                     if (v.__class__ is MCaseV
-                                            and not wants[i]):
+                                            and (i >= nparams
+                                                 or not wants[i])):
                                         e = elims[i]
                                         if e is None:
                                             continue
                                         argv[i] = interp._elim_with_mode(
                                             v, regs[e] if e >= 0
                                             else current_mode)
+                            if len(argv) != nparams:
+                                # After the eliminations: the walk
+                                # evaluates (and eliminates) every
+                                # argument before its arity check, so
+                                # the stats must match up to the blame.
+                                raise StuckError(
+                                    f"method {minfo.owner}."
+                                    f"{minfo.name} expects {nparams} "
+                                    f"argument(s), got {len(argv)}")
                             if callee is not None:
                                 # Leaf-call fast path: plain method,
                                 # no tracer; enter the callee frame
@@ -305,10 +430,28 @@ class VM:
                                 regs2 = callee.template.copy()
                                 if argv:
                                     regs2[:len(argv)] = argv
-                                value = self._run(
-                                    callee, regs2,
-                                    _Frame(receiver, receiver.mode_env,
-                                           closure))
+                                frame2 = _Frame(receiver,
+                                                receiver.mode_env,
+                                                closure)
+                                if self._jit_on:
+                                    # Tier up: per-call-site heat; a
+                                    # hot site compiles its callee and
+                                    # enters the JIT body directly.
+                                    jfn = callee.jit
+                                    if jfn is None:
+                                        site.heat = h = site.heat + 1
+                                        if h >= self._hot_call:
+                                            jfn = self._jit_compile(
+                                                callee)
+                                    if jfn is not None:
+                                        value = jfn(self, regs2,
+                                                    frame2, -1)
+                                    else:
+                                        value = self._run(callee, regs2,
+                                                          frame2)
+                                else:
+                                    value = self._run(callee, regs2,
+                                                      frame2)
                                 if value is _NO_RETURN:
                                     value = None
                             else:
@@ -694,6 +837,18 @@ class VM:
                                 raise FuelExhausted(
                                     f"evaluation exceeded {fuel} steps "
                                     f"(divergence bound)")
+                            if self._jit_on and not handlers:
+                                # OSR at the foreach charge point: the
+                                # element is assigned and this
+                                # iteration charged, matching the JIT's
+                                # post-ITER entry.
+                                jfn = code.jit
+                                if jfn is None:
+                                    code.heat = h = code.heat + 1
+                                    if h >= self._hot_loop:
+                                        jfn = self._jit_compile(code)
+                                if jfn is not None:
+                                    return jfn(self, regs, frame, pc)
                     elif op == OP_PUSH_HANDLER:
                         if handlers is None:
                             handlers = []
@@ -727,6 +882,82 @@ class VM:
                     raise
                 pc, exc_slot = handlers.pop()
                 regs[exc_slot] = str(exc)
+
+
+class JITVM(VM):
+    """The VM with the trace-JIT tier armed (``engine="jit"``).
+
+    All tiering state lives here: thresholds (instance attributes so
+    tests can force-compile with ``_hot_call = 1``), the compile /
+    deopt / invalidation counters, and the compile entry point the
+    dispatch loop's hooks call.  The JIT arms itself exactly when the
+    leaf-call fast path is on (``_fast_ok``): traced and profiled runs
+    need every send on the ``_invoke`` path for events and call-site
+    profiles, so under them ``jit`` degrades to the plain VM — which is
+    also why ``repro profile --engine jit`` satisfies the
+    static-vs-observed oracle by construction.
+
+    See :mod:`repro.lang.jit` for the emitter and the tiering policy.
+    """
+
+    def __init__(self, interp) -> None:
+        super().__init__(interp)
+        from repro.lang import jit
+        self._jit_mod = jit
+        self._jit_on = self._fast_ok
+        self._hot_call = jit.HOT_CALL_THRESHOLD
+        self._hot_loop = jit.HOT_LOOP_THRESHOLD
+        self._deopt_limit = jit.DEOPT_LIMIT
+        self._max_versions = jit.MAX_VERSIONS
+        #: Engine-level observability (kept OFF InterpStats: stats
+        #: dicts are compared across engines by the differential suite,
+        #: and tiering is engine-private by design).
+        self.jit_compiles = 0
+        self.jit_deopts = 0
+        self.jit_invalidations = 0
+        self.jit_bailouts = 0
+        #: Compile log: (body name, version) in compile order.
+        self.jit_compiled = []
+
+    def _jit_compile(self, code):
+        """Compile ``code`` (or blacklist it); returns the installed
+        entry point or ``None``."""
+        if code.jit is not None:
+            return code.jit
+        if code.jit_versions >= self._max_versions:
+            code.heat = _COLD
+            return None
+        try:
+            fn, src = self._jit_mod.compile_body(self, code)
+        except self._jit_mod.JITUnsupported:
+            self.jit_bailouts += 1
+            code.jit_versions = self._max_versions
+            code.heat = _COLD
+            return None
+        code.jit = fn
+        code.jit_src = src
+        code.jit_deopts = 0
+        code.jit_versions += 1
+        self.jit_compiles += 1
+        self.jit_compiled.append((code.name or "<body>",
+                                  code.jit_versions))
+        return fn
+
+    def _note_deopt(self, code) -> None:
+        """A specialization guard failed in ``code``'s compiled body.
+        Execution already fell back to ``_site_send`` (results stay
+        engine-identical); here we only count, and past the deopt limit
+        invalidate the body so the next hot crossing recompiles against
+        the by-then-grown inline caches (bounded by ``MAX_VERSIONS``).
+        """
+        self.jit_deopts += 1
+        code.jit_deopts += 1
+        if (code.jit_deopts >= self._deopt_limit
+                and code.jit is not None):
+            code.jit = None
+            code.jit_src = None
+            code.heat = 0
+            self.jit_invalidations += 1
 
 
 # Late imports resolved once at module load: the interp module imports

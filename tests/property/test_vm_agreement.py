@@ -1,11 +1,17 @@
 """Cross-engine differential testing for the register-bytecode VM.
 
-All three execution engines — tree walk, closure compiler, VM — must be
-observationally identical on every program: same output lines, same
-stats (minus ``steps``, which is engine-defined), same exceptions with
-the same messages, with check elision and inline caches toggled both
-ways.  This is the acceptance gate for ``docs/VM.md``'s claim that the
-engines differ only in speed.
+All four execution engines — tree walk, closure compiler, VM, and the
+VM's trace-JIT tier — must be observationally identical on every
+program: same output lines, same stats (minus ``steps``, which is
+engine-defined), same exceptions with the same messages, with check
+elision and inline caches toggled both ways.  This is the acceptance
+gate for ``docs/VM.md``'s claim that the engines differ only in speed.
+
+The ``jit`` engine runs twice over the fixed corpora: once with the
+shipped hotness thresholds (tier-transition coverage — some bodies
+compile mid-run, some never do) and once through the aggressive
+``jit_hot`` runs below, where thresholds drop to 1 so essentially every
+body executes as emitted Python.
 """
 
 import pathlib
@@ -34,14 +40,17 @@ FIXED_PROGRAMS = sorted(
     str(p.relative_to(_ROOT))
     for p in (_ROOT / "examples" / "ent").glob("*.ent"))
 
-ENGINES = ("walk", "compiled", "vm")
+ENGINES = ("walk", "compiled", "vm", "jit")
 
 
 def run_engine(source: str, engine: str, battery: float = 0.6,
-               elide: bool = False, inline_caches: bool = True):
+               elide: bool = False, inline_caches: bool = True,
+               jit_hot: bool = False):
     """One run; returns everything observable: the outcome (with the
     exception's message — errors must match byte for byte), the output
-    lines, and the stats dict minus ``steps``."""
+    lines, and the stats dict minus ``steps``.  ``jit_hot`` drops the
+    JIT's hotness thresholds to 1 so every body compiles immediately.
+    """
 
     class _Battery(NullPlatform):
         def battery_fraction(self):
@@ -54,6 +63,9 @@ def run_engine(source: str, engine: str, battery: float = 0.6,
         checked, platform=_Battery(),
         options=InterpOptions(engine=engine, fuel=500_000,
                               inline_caches=inline_caches))
+    if jit_hot and engine == "jit":
+        interp._vm._hot_call = 1
+        interp._vm._hot_loop = 1
     try:
         interp.run()
         outcome = ("ok", None)
@@ -77,7 +89,11 @@ def test_examples_agree(path, elide, inline_caches):
     results = [run_engine(source, engine, elide=elide,
                           inline_caches=inline_caches)
                for engine in ENGINES]
-    assert results[0] == results[1] == results[2]
+    results.append(run_engine(source, "jit", elide=elide,
+                              inline_caches=inline_caches,
+                              jit_hot=True))
+    for got in results[1:]:
+        assert got == results[0]
 
 
 @pytest.mark.parametrize("index", range(len(KERNEL_PROGRAMS)),
@@ -88,7 +104,10 @@ def test_workload_kernels_agree(index, battery, elide):
     source = KERNEL_PROGRAMS[index]
     results = [run_engine(source, engine, battery=battery, elide=elide)
                for engine in ENGINES]
-    assert results[0] == results[1] == results[2]
+    results.append(run_engine(source, "jit", battery=battery,
+                              elide=elide, jit_hot=True))
+    for got in results[1:]:
+        assert got == results[0]
     assert results[0][1], "kernel should print a digest"
 
 
@@ -116,6 +135,16 @@ def test_random_programs_agree(source):
     assert walked == vm
 
 
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_random_programs_agree_jit(source):
+    """The JIT with thresholds at 1 — every body runs as emitted
+    Python — against the reference walk."""
+    walked = run_engine(source, "walk")
+    jit = run_engine(source, "jit", jit_hot=True)
+    assert walked == jit
+
+
 @settings(max_examples=15, deadline=None)
 @given(programs())
 def test_random_programs_agree_noic(source):
@@ -123,3 +152,5 @@ def test_random_programs_agree_noic(source):
     walked = run_engine(source, "walk")
     vm = run_engine(source, "vm", inline_caches=False)
     assert walked == vm
+    jit = run_engine(source, "jit", inline_caches=False, jit_hot=True)
+    assert walked == jit

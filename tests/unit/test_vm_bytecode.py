@@ -41,12 +41,15 @@ class TestResolveEngine:
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
-            resolve_engine("jit")
+            resolve_engine("tracing-gc")
+
+    def test_jit_engine_registered(self):
+        assert resolve_engine("jit") == "jit"
 
     def test_interp_options_engine_validated(self):
         checked = check_program(MODES + "class Main { void main() { } }")
         with pytest.raises(ValueError, match="unknown engine"):
-            Interpreter(checked, options=InterpOptions(engine="jit"))
+            Interpreter(checked, options=InterpOptions(engine="tracing-gc"))
 
     def test_interp_records_engine(self):
         checked = check_program(MODES + "class Main { void main() { } }")
