@@ -13,6 +13,8 @@ Usage (installed as ``python -m repro``)::
     python -m repro obs convert t.jsonl t.json  # JSONL -> Perfetto
     python -m repro profile program.ent         # cross-engine profiler
     python -m repro eval figure8 --jobs 0       # parallel evaluation
+    python -m repro fleet run --devices 100000 --shards 8
+                                                # fleet-scale simulation
 
 ``run`` options mirror the paper's build/runtime configurations:
 
@@ -41,6 +43,12 @@ the ones ``run`` skips; residual ones name the reason they must stay.
 ``--json`` emits the machine-readable report, ``--embedded`` routes a
 Python file through the embedded-API linter instead (see
 ``docs/ANALYSIS.md``).
+
+``fleet run`` simulates a whole device population — each device a
+platform model plus an embedded-ENT workload plus a drain profile —
+sharded across worker processes (docs/FLEET.md).  Aggregates are
+bit-identical for any ``--shards`` value; ``--metrics-out`` exports
+them in Prometheus text format.
 
 ``run`` observability options (see ``docs/OBSERVABILITY.md``):
 
@@ -229,6 +237,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint",
         help="statically check Python code using the embedded ENT API")
     lint.add_argument("file")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet-scale device simulation (docs/FLEET.md)")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run", help="simulate a device population across shards")
+    fleet_run.add_argument("--devices", type=int, default=10_000,
+                           help="population size (default 10000)")
+    fleet_run.add_argument("--shards", type=int, default=1,
+                           help="worker processes; 1 runs in-process")
+    fleet_run.add_argument("--engine", choices=["batched", "embedded"],
+                           default="batched",
+                           help="batched (shared platforms/runtime per "
+                                "shard, default) or embedded (fresh "
+                                "objects per device; the differential "
+                                "reference)")
+    fleet_run.add_argument("--seed", type=int, default=0)
+    fleet_run.add_argument("--steps", type=int, default=16,
+                           help="adaptive-loop iterations per device")
+    fleet_run.add_argument("--json", action="store_true",
+                           help="emit the full report as one JSON "
+                                "object")
+    fleet_run.add_argument("--digest", action="store_true",
+                           help="emit only the deterministic aggregate "
+                                "digest as JSON (for invariance checks)")
+    fleet_run.add_argument("--metrics-out", metavar="PATH", default=None,
+                           help="write aggregates in Prometheus text "
+                                "exposition format to PATH")
+    fleet_run.add_argument("--progress", action="store_true",
+                           help="print one line per completed shard "
+                                "(stderr)")
 
     evaluate = sub.add_parser(
         "eval", add_help=False,
@@ -534,6 +574,37 @@ def _cmd_tokens(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    """Simulate a device population (``repro fleet run``)."""
+    from repro.fleet import FleetSpec, run_fleet
+
+    spec = FleetSpec(devices=args.devices, seed=args.seed,
+                     steps=args.steps)
+    progress = None
+    if args.progress:
+        def progress(result):
+            rate = result.devices / result.seconds if result.seconds \
+                else 0.0
+            print(f"[fleet: shard {result.shard_index} done — "
+                  f"{result.devices} devices in {result.seconds:.3f}s "
+                  f"({rate:,.0f}/s)]", file=sys.stderr)
+    report = run_fleet(spec, shards=args.shards, engine=args.engine,
+                       progress=progress)
+    if args.metrics_out is not None:
+        from repro.obs.export import render_prometheus
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(report.registry))
+        print(f"[fleet: metrics -> {args.metrics_out} (prometheus)]",
+              file=sys.stderr)
+    if args.digest:
+        print(json.dumps(report.aggregate_digest(), sort_keys=True))
+    elif args.json:
+        print(json.dumps(report.as_dict()))
+    else:
+        print(report.render())
+    return 0
+
+
 def _cmd_eval(args) -> int:
     from repro.eval.__main__ import main as eval_main
 
@@ -563,6 +634,7 @@ _COMMANDS = {
     "tokens": _cmd_tokens,
     "lint": _cmd_lint,
     "eval": _cmd_eval,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -149,6 +149,11 @@ def run_episodes(tasks: Iterable[EpisodeTask],
     tracer = tracer if tracer is not None else NULL_TRACER
     profiler = profiler if profiler is not None else NULL_PROFILER
     tasks = list(tasks)
+    if not tasks:
+        # Empty batch: return the empty aggregate up front.  This must
+        # never fall through to the pool path — ``min(workers, 0)``
+        # would ask ProcessPoolExecutor for max_workers=0, a ValueError.
+        return {}
     keys = [task.key for task in tasks]
     if len(set(keys)) != len(keys):
         raise ValueError("duplicate EpisodeTask keys in one batch")

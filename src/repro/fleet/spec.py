@@ -1,0 +1,178 @@
+"""Fleet population description and per-device parameter derivation.
+
+A :class:`FleetSpec` describes a population *intensionally*: how many
+devices, which systems they run on, which drain profiles and workload
+archetypes occur in what proportion, and one root seed.  The concrete
+parameters of device ``i`` are derived on demand by
+:func:`device_params` from a splitmix64 stream keyed ``(seed, i)`` —
+pure integer mixing, so any worker process can materialize any slice
+of the population independently and identically.  Nothing about the
+derivation depends on how devices are partitioned into shards; that is
+the root of the service's bit-identical-across-shards guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.rng import SplitMix64, derive_seed
+
+__all__ = ["DrainProfile", "WorkArchetype", "FleetSpec", "DeviceParams",
+           "DRAIN_PROFILES", "WORK_ARCHETYPES", "device_params",
+           "LOAD_FACTORS"]
+
+#: Stream discriminator for device-parameter derivation (any fixed
+#: constant works; this one spells "fleet" if you squint).
+_DEVICE_STREAM = 0xF1EE7
+
+#: Quantized per-device load factors in [0.75, 1.54): workload sizes
+#: scale by one of 64 fixed values, so shared per-mode tables stay
+#: shared while devices still differ.
+LOAD_FACTORS: Tuple[float, ...] = tuple(0.75 + k / 80.0
+                                        for k in range(64))
+
+
+@dataclass(frozen=True)
+class DrainProfile:
+    """How a device's battery behaves besides the workload's own draw.
+
+    Drains are expressed as fractions of the (scaled) battery
+    capacity per step, so a profile means the same thing on a laptop
+    battery and a phone battery.
+    """
+
+    name: str
+    #: Initial battery fraction range [lo, hi).
+    start_lo: float
+    start_hi: float
+    #: Constant external drain per step (fraction of capacity).
+    vampire_frac: float = 0.0
+    #: Per-step burst probability in per-mille, and burst magnitude.
+    burst_pm: int = 0
+    burst_frac: float = 0.0
+
+
+@dataclass(frozen=True)
+class WorkArchetype:
+    """Per-mode workload knobs: what one step costs in each boot mode.
+
+    ``plan`` maps mode name -> (cpu work units, telemetry bytes,
+    sleep milliseconds).  The mode-case the device eliminates each
+    step is built from exactly this table.
+    """
+
+    name: str
+    plan: Tuple[Tuple[str, Tuple[float, float, float]], ...]
+
+    def plan_dict(self) -> Dict[str, Tuple[float, float, float]]:
+        return dict(self.plan)
+
+
+#: The stock drain profiles, in derivation order.
+DRAIN_PROFILES: Tuple[DrainProfile, ...] = (
+    DrainProfile("steady", start_lo=0.92, start_hi=1.00,
+                 vampire_frac=0.004),
+    DrainProfile("commuter", start_lo=0.55, start_hi=0.95,
+                 vampire_frac=0.012, burst_pm=150, burst_frac=0.03),
+    DrainProfile("vampire", start_lo=0.45, start_hi=0.80,
+                 vampire_frac=0.035),
+    DrainProfile("cliff", start_lo=0.48, start_hi=0.62,
+                 vampire_frac=0.010, burst_pm=400, burst_frac=0.08),
+)
+
+#: The stock workload archetypes, in derivation order.
+WORK_ARCHETYPES: Tuple[WorkArchetype, ...] = (
+    WorkArchetype("crawler", (
+        ("energy_saver", (2.0, 0.0, 40.0)),
+        ("managed", (6.0, 2.0e4, 20.0)),
+        ("full_throttle", (14.0, 8.0e4, 0.0)),
+    )),
+    WorkArchetype("render", (
+        ("energy_saver", (4.0, 0.0, 20.0)),
+        ("managed", (10.0, 0.0, 10.0)),
+        ("full_throttle", (22.0, 0.0, 0.0)),
+    )),
+    WorkArchetype("sync", (
+        ("energy_saver", (1.0, 1.0e4, 60.0)),
+        ("managed", (3.0, 6.0e4, 30.0)),
+        ("full_throttle", (6.0, 2.0e5, 10.0)),
+    )),
+)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """An intensional description of a simulated device population."""
+
+    devices: int
+    seed: int = 0
+    #: Episode length: adaptive-loop iterations per device.
+    steps: int = 16
+    #: ``(system letter, weight)`` population mix.
+    system_mix: Tuple[Tuple[str, int], ...] = (("A", 2), ("B", 1),
+                                               ("C", 1))
+    #: Battery capacity scale, so a discharge fits in ``steps``.
+    battery_scale: float = 0.002
+    profiles: Tuple[DrainProfile, ...] = DRAIN_PROFILES
+    archetypes: Tuple[WorkArchetype, ...] = WORK_ARCHETYPES
+
+    def __post_init__(self) -> None:
+        if self.devices < 0:
+            raise ValueError(f"devices must be >= 0, got {self.devices}")
+        if self.steps <= 0:
+            raise ValueError(f"steps must be > 0, got {self.steps}")
+        if not self.system_mix or not self.profiles or not self.archetypes:
+            raise ValueError("system_mix, profiles and archetypes must "
+                             "be non-empty")
+
+
+@dataclass
+class DeviceParams:
+    """The concrete derived parameters of one device (picklable)."""
+
+    index: int
+    system: str
+    profile: DrainProfile
+    archetype: WorkArchetype
+    #: Index into :data:`LOAD_FACTORS`.
+    load_k: int
+    #: Seed for the device's platform RNG (jitter, meter noise).
+    platform_seed: int
+    #: Initial battery fraction.
+    start_fraction: float
+    #: The device's own draw stream (bursts) — one stream for the
+    #: whole episode, never a fresh generator per step.
+    stream: SplitMix64
+
+
+def _pick_weighted(stream: SplitMix64,
+                   mix: Tuple[Tuple[str, int], ...]) -> str:
+    total = sum(weight for _, weight in mix)
+    draw = stream.below(total)
+    for name, weight in mix:
+        draw -= weight
+        if draw < 0:
+            return name
+    return mix[-1][0]
+
+
+def device_params(spec: FleetSpec, index: int) -> DeviceParams:
+    """Materialize device ``index`` of the population.
+
+    Depends only on ``(spec, index)`` — every shard derives identical
+    parameters for the same device, whatever slice it owns.
+    """
+    stream = SplitMix64(derive_seed(spec.seed, _DEVICE_STREAM, index))
+    system = _pick_weighted(stream, spec.system_mix)
+    profile = spec.profiles[stream.below(len(spec.profiles))]
+    archetype = spec.archetypes[stream.below(len(spec.archetypes))]
+    load_k = stream.below(len(LOAD_FACTORS))
+    platform_seed = stream.below(1 << 31)
+    span = profile.start_hi - profile.start_lo
+    start_fraction = profile.start_lo + span * (
+        stream.below(10_000) / 10_000.0)
+    return DeviceParams(index=index, system=system, profile=profile,
+                        archetype=archetype, load_k=load_k,
+                        platform_seed=platform_seed,
+                        start_fraction=start_fraction, stream=stream)

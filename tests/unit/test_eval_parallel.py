@@ -49,6 +49,19 @@ class TestResolveJobs:
 
 
 class TestRunEpisodes:
+    def test_empty_task_list_returns_empty_aggregate(self):
+        # Regression: an empty batch must short-circuit before the
+        # pool path, which would compute min(workers, 0) and ask
+        # ProcessPoolExecutor for max_workers=0 (a ValueError).
+        assert run_episodes([]) == {}
+        assert run_episodes([], jobs=8) == {}
+        assert run_episodes(iter([]), jobs=0) == {}
+
+    def test_empty_task_list_leaves_tracer_untouched(self):
+        tracer = Tracer(capacity=16)
+        assert run_episodes([], jobs=4, tracer=tracer) == {}
+        assert list(tracer.events()) == []
+
     def test_duplicate_keys_rejected(self):
         tasks = [_e1_task(("dup",), FT, MG), _e1_task(("dup",), FT, ES)]
         with pytest.raises(ValueError, match="duplicate"):
