@@ -1,0 +1,33 @@
+"""``repro.advise`` — the probabilistic energy advisor.
+
+Closes the paper's observe/adapt loop over *program configuration*:
+given an ENT program, sweep the per-class static-vs-``?`` mode
+assignments, score each candidate's expected energy (empirical
+calibration on the simulated platform + a per-architecture
+probabilistic cost model over residual checks) and its mode-violation
+risk (Monte-Carlo over the observed attributor distributions), and
+report the Pareto frontier.  ``repro advise`` is the CLI entry point;
+``docs/ADVISE.md`` is the guide.
+"""
+
+from repro.advise.costmodel import (ARCHS, DEFAULT_ARCH, CostEntry,
+                                    CostModel, builtin_model)
+from repro.advise.pareto import Candidate, dominates, pareto_frontier
+from repro.advise.propagate import (Uncertain, energy_intervals,
+                                    format_interval, sum_uncertain,
+                                    widen)
+from repro.advise.search import (CAL_STREAM, RISK_STREAM,
+                                 VALIDATE_STREAM, AdviseConfig,
+                                 AdviseResult, advise_file,
+                                 advise_source, measure_assignment,
+                                 pin_classes)
+
+__all__ = [
+    "ARCHS", "DEFAULT_ARCH", "CostEntry", "CostModel", "builtin_model",
+    "Candidate", "dominates", "pareto_frontier",
+    "Uncertain", "energy_intervals", "format_interval",
+    "sum_uncertain", "widen",
+    "AdviseConfig", "AdviseResult", "advise_file", "advise_source",
+    "measure_assignment", "pin_classes",
+    "CAL_STREAM", "RISK_STREAM", "VALIDATE_STREAM",
+]

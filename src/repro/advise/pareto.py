@@ -1,0 +1,81 @@
+"""Pareto frontier over (expected energy, violation risk).
+
+The advisor scores each candidate mode assignment on two axes it wants
+to *minimize*:
+
+* ``energy`` — expected joules per episode (an :class:`Uncertain`);
+* ``risk`` — expected mode-violation exposure: the summed per-decision
+  probability that a pinned class's attributor would have chosen a
+  different mode, plus any *observed* new ``EnergyException``s.
+
+Neither axis folds into the other (that is the paper's whole point:
+``?`` buys safety with checks, pinning buys energy with risk), so the
+advisor reports the non-dominated set instead of a single winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.advise.propagate import Uncertain
+
+__all__ = ["Candidate", "dominates", "pareto_frontier"]
+
+
+@dataclass
+class Candidate:
+    """One scored point in the assignment sweep.
+
+    ``assignment`` maps each dynamic class to the mode it is pinned to,
+    or ``None`` to keep the class dynamic (``?``).
+    """
+
+    assignment: Dict[str, Optional[str]]
+    energy: Uncertain
+    risk: float
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        parts = []
+        for cls in sorted(self.assignment):
+            mode = self.assignment[cls]
+            parts.append(f"{cls}={mode if mode is not None else '?'}")
+        return ",".join(parts) if parts else "(empty)"
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "assignment": {cls: self.assignment[cls]
+                           for cls in sorted(self.assignment)},
+            "name": self.name,
+            "energy_j": self.energy.as_dict(),
+            "risk": round(self.risk, 9),
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+def dominates(a: Candidate, b: Candidate) -> bool:
+    """``a`` dominates ``b``: no worse on both axes, better on one.
+
+    Energy compares by mean — the intervals are reporting artifacts;
+    ranking on them would let wide uncertainty masquerade as merit.
+    """
+    if a.energy.mean > b.energy.mean or a.risk > b.risk:
+        return False
+    return a.energy.mean < b.energy.mean or a.risk < b.risk
+
+
+def pareto_frontier(candidates: List[Candidate]) -> List[Candidate]:
+    """The non-dominated subset, sorted by (energy mean, risk, name).
+
+    Exact ties on both axes are all kept — they are genuinely
+    incomparable alternatives — and the sort keeps the output
+    deterministic for fixed inputs regardless of arrival order.
+    """
+    frontier = [c for c in candidates
+                if not any(dominates(other, c) for other in candidates)]
+    frontier.sort(key=lambda c: (c.energy.mean, c.risk, c.name))
+    return frontier

@@ -1,0 +1,188 @@
+"""Uncertainty propagation for energy quantities.
+
+The observability layer (PR 1/PR 6) reports energy as point estimates:
+``energy_attribution`` buckets measured joules per mode, and
+``energy_by_label`` distributes them over profile labels.  Following
+the probabilistic-profiler line of work (Nyholm et al., PAPERS.md),
+this module replaces those points with :class:`Uncertain` values —
+(mean, variance) pairs with the usual propagation rules — so
+``repro profile --energy`` and ``repro advise`` carry confidence
+intervals instead of bare numbers.
+
+Conventions:
+
+* variances add under ``+``/``-`` (independent-error assumption, the
+  standard first-order propagation);
+* scaling by a constant ``k`` scales the variance by ``k**2``;
+* the sum of ``n`` i.i.d. draws of a cost distribution has mean
+  ``n*mu`` and variance ``n*sigma**2`` (:meth:`Uncertain.times`), which
+  is how per-operation pJ distributions aggregate over execution
+  counts;
+* confidence intervals are ``mean +/- z*std`` with a *relative floor*
+  on the std (:func:`widen`): tiny empirical samples underestimate
+  spread, so reported intervals never claim better than a configurable
+  relative precision.
+
+Everything is plain floats — picklable, JSON-friendly, deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Uncertain", "sum_uncertain", "widen", "format_interval",
+           "energy_intervals", "Z_99", "Z_95"]
+
+#: Two-sided normal quantiles for the interval renderings.
+Z_95 = 1.959964
+Z_99 = 2.575829
+
+
+@dataclass(frozen=True)
+class Uncertain:
+    """A quantity with first-order uncertainty: mean and variance.
+
+    ``n`` records how many empirical samples produced the estimate
+    (0 for purely model-derived values); it travels through arithmetic
+    as the minimum of the operands' counts, a conservative "how well do
+    we know this" tag.
+    """
+
+    mean: float
+    var: float = 0.0
+    n: int = 0
+
+    @property
+    def std(self) -> float:
+        return sqrt(self.var) if self.var > 0.0 else 0.0
+
+    def ci(self, z: float = Z_99) -> Tuple[float, float]:
+        """The two-sided ``mean +/- z*std`` interval."""
+        half = z * self.std
+        return (self.mean - half, self.mean + half)
+
+    # -- propagation ---------------------------------------------------
+
+    def __add__(self, other: "Uncertain") -> "Uncertain":
+        return Uncertain(self.mean + other.mean, self.var + other.var,
+                         _join_n(self.n, other.n))
+
+    def __sub__(self, other: "Uncertain") -> "Uncertain":
+        return Uncertain(self.mean - other.mean, self.var + other.var,
+                         _join_n(self.n, other.n))
+
+    def scale(self, k: float) -> "Uncertain":
+        """``k * X`` for a constant ``k``."""
+        return Uncertain(self.mean * k, self.var * k * k, self.n)
+
+    def times(self, count: float) -> "Uncertain":
+        """The sum of ``count`` i.i.d. draws: ``n*mu``, ``n*sigma^2``."""
+        return Uncertain(self.mean * count, self.var * count, self.n)
+
+    # -- construction --------------------------------------------------
+
+    @staticmethod
+    def exact(value: float) -> "Uncertain":
+        return Uncertain(value, 0.0, 0)
+
+    @staticmethod
+    def from_samples(values: Sequence[float]) -> "Uncertain":
+        """Sample mean with the variance *of the mean's population*,
+        i.e. the spread a fresh draw is expected to show (unbiased
+        sample variance), not the standard error of the mean — the
+        advisor's intervals must cover future runs, not the mean."""
+        n = len(values)
+        if n == 0:
+            raise ValueError("from_samples needs at least one value")
+        mean = sum(values) / n
+        if n == 1:
+            return Uncertain(mean, 0.0, 1)
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        return Uncertain(mean, var, n)
+
+    # -- serialization -------------------------------------------------
+
+    def as_dict(self, z: float = Z_99, digits: int = 12
+                ) -> Dict[str, object]:
+        lo, hi = self.ci(z)
+        return {"mean": round(self.mean, digits),
+                "std": round(self.std, digits),
+                "ci_lo": round(lo, digits),
+                "ci_hi": round(hi, digits),
+                "n": self.n}
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "Uncertain":
+        std = float(data.get("std", 0.0))
+        return Uncertain(float(data["mean"]), std * std,
+                         int(data.get("n", 0)))
+
+
+def _join_n(a: int, b: int) -> int:
+    if a and b:
+        return min(a, b)
+    return a or b
+
+
+def sum_uncertain(items: Iterable[Uncertain]) -> Uncertain:
+    """Fold ``+`` over ``items`` (zero-mean exact identity)."""
+    total = Uncertain.exact(0.0)
+    for item in items:
+        total = total + item
+    return total
+
+
+def widen(value: Uncertain, rel_floor: float = 0.015,
+          abs_floor: float = 1e-9) -> Uncertain:
+    """Clamp the std from below: at least ``rel_floor`` of ``|mean|``
+    and at least ``abs_floor`` absolute.
+
+    Small calibration samples (a handful of runs) routinely
+    underestimate run-to-run spread; the floor keeps reported
+    confidence intervals honest about that.
+    """
+    floor = max(abs(value.mean) * rel_floor, abs_floor)
+    std = max(value.std, floor)
+    return Uncertain(value.mean, std * std, value.n)
+
+
+def format_interval(value: Uncertain, unit: str = "",
+                    digits: int = 6, z: float = Z_99) -> str:
+    """The CLI's ``mean +/- half-width`` rendering, e.g. ``1.234 ± 0.05 J``."""
+    half = z * value.std
+    text = f"{value.mean:.{digits}f} ± {half:.{digits}f}"
+    return f"{text} {unit}".rstrip()
+
+
+def energy_intervals(profile, attribution: Dict[str, float],
+                     model) -> Dict[str, Uncertain]:
+    """Interval-valued ``energy_by_label``.
+
+    The *means* are exactly the point estimates of
+    :func:`repro.obs.prof.energy_by_label` (measured joules distributed
+    over labels by mode-time share).  The *variance* of each label
+    comes from the cost model: a label executed ``n`` times whose
+    resolved cost key has relative std ``r`` carries relative
+    uncertainty ``r / sqrt(n)`` (the i.i.d.-sum law), so hot labels are
+    known tightly and rare ones loosely.
+
+    ``model`` is duck-typed: only ``relative_std(label)`` is called,
+    so any cost-model-shaped object works.
+    """
+    from repro.obs.prof import energy_by_label
+
+    joules = energy_by_label(profile, attribution)
+    counts = {name: h.count
+              for name, h in profile.registry.histograms.items()}
+    out: Dict[str, Uncertain] = {}
+    for label, mean in joules.items():
+        count = counts.get(label, 0)
+        rel = model.relative_std(label)
+        if count > 0 and rel > 0.0:
+            std = abs(mean) * rel / sqrt(count)
+        else:
+            std = abs(mean) * rel
+        out[label] = Uncertain(mean, std * std, 0)
+    return out

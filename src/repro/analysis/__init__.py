@@ -21,13 +21,14 @@ from repro.analysis.obligations import (CheckSite, ProgramAnalyzer,
                                         DFALL, SNAPSHOT_BOUND,
                                         MCASE_ELIM, STATIC, ELIDED,
                                         RESIDUAL)
-from repro.analysis.planner import (analyze_program, apply_plan,
-                                    plan_elisions)
+from repro.analysis.planner import (analyze_program, apply_assignment,
+                                    apply_plan, plan_elisions)
 from repro.analysis.report import (AnalysisReport, StaticVsObserved,
                                    static_vs_observed)
 
 __all__ = ["ModeFact", "join_facts", "join_envs", "CheckSite",
            "ProgramAnalyzer", "AnalysisReport", "StaticVsObserved",
            "static_vs_observed", "analyze_program", "apply_plan",
-           "plan_elisions", "DFALL", "SNAPSHOT_BOUND", "MCASE_ELIM",
-           "STATIC", "ELIDED", "RESIDUAL"]
+           "apply_assignment", "plan_elisions", "DFALL",
+           "SNAPSHOT_BOUND", "MCASE_ELIM", "STATIC", "ELIDED",
+           "RESIDUAL"]

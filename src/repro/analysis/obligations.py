@@ -64,9 +64,22 @@ class CheckSite:
     reason: str
     line: Optional[int] = None
     column: Optional[int] = None
+    #: The class whose mode discipline *causes* the obligation: the
+    #: receiver class of a dfall check, the snapshotted class of a
+    #: bound check, the enclosing class of a mode-case elimination.
+    #: This is the advisor's grouping key (``repro.advise``): pinning a
+    #: class to a static mode discharges exactly the sites targeting it.
+    target_class: Optional[str] = None
     #: The AST node carrying the obligation (consumed by the planner;
     #: not part of the serialized report).
     node: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def owner_class(self) -> str:
+        """``target_class``, falling back to the context's class."""
+        if self.target_class is not None:
+            return self.target_class
+        return self.context.split(".", 1)[0]
 
     @property
     def site_id(self) -> str:
@@ -87,6 +100,7 @@ class CheckSite:
             "line": self.line,
             "column": self.column,
             "site_id": self.site_id,
+            "target_class": self.target_class,
         }
 
 
@@ -311,6 +325,23 @@ class ProgramAnalyzer:
                            f"{cls.name}.{mdecl.name}.<attributor>")
 
     # ------------------------------------------------------------------
+    # Whole-program views for the advisor (repro.advise)
+
+    def dynamic_classes(self) -> List[str]:
+        """Classes declared with a dynamic (``?``) mode parameter —
+        the classes a ``repro advise`` sweep can pin static."""
+        return sorted(info.name for info in self.table.classes()
+                      if info.name != "Object" and info.is_dynamic)
+
+    def class_hulls(self) -> Dict[str, Optional[FrozenSet[Mode]]]:
+        """``{dynamic class: attributor hull}`` — every mode any
+        reachable attributor can return, or ``None`` when some
+        attributor is not a literal-return one (the advisor then falls
+        back to the whole declared lattice)."""
+        return {name: self._class_hull(name)
+                for name in self.dynamic_classes()}
+
+    # ------------------------------------------------------------------
     # Class/method metadata (hulls, guard profiles, override sets)
 
     def _subclasses(self, class_name: str) -> List[ClassInfo]:
@@ -529,13 +560,19 @@ class ProgramAnalyzer:
         self._sender = sender
 
     def _record_site(self, kind: str, node, description: str,
-                     status: str, reason: str) -> None:
+                     status: str, reason: str,
+                     target_class: Optional[str] = None) -> None:
         span = getattr(node, "span", None)
+        if target_class is None:
+            # Mode-case eliminations run against the *enclosing*
+            # object's mode: the context's class owns them.
+            target_class = self._ctx.split(".", 1)[0]
         self.sites.append(CheckSite(
             kind=kind, context=self._ctx, description=description,
             status=status, reason=reason,
             line=span.line if span is not None else None,
             column=span.column if span is not None else None,
+            target_class=target_class,
             node=node))
 
     # ------------------------------------------------------------------
@@ -713,12 +750,12 @@ class ProgramAnalyzer:
                 self._record_site(
                     SNAPSHOT_BOUND, expr, description, ELIDED,
                     "vacuous bounds (bottom/top): every attributed "
-                    "mode passes")
+                    "mode passes", target_class=class_name)
             elif not (lo_concrete and hi_concrete):
                 self._record_site(
                     SNAPSHOT_BOUND, expr, description, RESIDUAL,
                     "bound depends on a mode variable resolved at run "
-                    "time")
+                    "time", target_class=class_name)
             elif hull is not None and all(
                     self.lattice.clamp(m, lo_atom, hi_atom)
                     for m in hull):
@@ -726,12 +763,14 @@ class ProgramAnalyzer:
                 self._record_site(
                     SNAPSHOT_BOUND, expr, description, ELIDED,
                     f"every reachable attributor returns only "
-                    f"{{{names}}}, all within the bounds")
+                    f"{{{names}}}, all within the bounds",
+                    target_class=class_name)
             else:
                 self._record_site(
                     SNAPSHOT_BOUND, expr, description, RESIDUAL,
                     "the attributor may return a mode outside the "
-                    "bounds (re-evaluated on every snapshot)")
+                    "bounds (re-evaluated on every snapshot)",
+                    target_class=class_name)
         fact = ModeFact(lo_atom if lo_concrete else BOTTOM,
                         hi_atom if hi_concrete else TOP)
         if hull is not None:
@@ -759,61 +798,58 @@ class ProgramAnalyzer:
                         minfo: MethodInfo,
                         receiver_fact: Optional[ModeFact]) -> None:
         description = f"message {rtype.class_name}.{expr.name}"
+
+        def record(status: str, reason: str) -> None:
+            self._record_site(DFALL, expr, description, status, reason,
+                              target_class=rtype.class_name)
+
         if expr.receiver is None or expr.resolved_self_call:
-            self._record_site(
-                DFALL, expr, description, STATIC,
-                "self message: the internal view needs no waterfall "
-                "check")
+            record(STATIC,
+                   "self message: the internal view needs no waterfall "
+                   "check")
             return
         if self.table.get(rtype.class_name).transparent:
-            self._record_site(
-                DFALL, expr, description, STATIC,
-                "mode-transparent receiver: runs at the caller's mode, "
-                "no dynamic check")
+            record(STATIC,
+                   "mode-transparent receiver: runs at the caller's "
+                   "mode, no dynamic check")
             return
         mp = minfo.mode_param
         if mp is not None and minfo.has_attributor:
-            self._record_site(
-                DFALL, expr, description, RESIDUAL,
-                "method attributor re-evaluates the guard mode at "
-                "every call")
+            record(RESIDUAL,
+                   "method attributor re-evaluates the guard mode at "
+                   "every call")
             return
         if mp is not None and mp.concrete is None:
-            self._record_site(
-                DFALL, expr, description, RESIDUAL,
-                "mode-generic method: guard inferred from arguments at "
-                "run time")
+            record(RESIDUAL,
+                   "mode-generic method: guard inferred from arguments "
+                   "at run time")
             return
         profile = self._guard_profile(rtype.class_name, expr.name)
         if profile == "varies":
-            self._record_site(
-                DFALL, expr, description, RESIDUAL,
-                "mode characterization varies across subclass "
-                "overrides")
+            record(RESIDUAL,
+                   "mode characterization varies across subclass "
+                   "overrides")
             return
         if profile == "plain":
             guard_fact = receiver_fact
             if guard_fact is None:
-                reason = ("mode-variable receiver: the guard depends "
-                          "on the instantiation"
-                          if isinstance(rtype.omode, str) else
-                          "no static fact for the receiver's mode")
-                self._record_site(DFALL, expr, description, RESIDUAL,
-                                  reason)
+                record(RESIDUAL,
+                       "mode-variable receiver: the guard depends on "
+                       "the instantiation"
+                       if isinstance(rtype.omode, str) else
+                       "no static fact for the receiver's mode")
                 return
         else:
             guard_fact = ModeFact.exact(profile[1])
         sender = self._sender
         if self.lattice.leq(guard_fact.upper, sender.lower):
-            self._record_site(
-                DFALL, expr, description, ELIDED,
-                f"guard <= {guard_fact.upper.name} <= "
-                f"{sender.lower.name} <= sender on every execution")
+            record(ELIDED,
+                   f"guard <= {guard_fact.upper.name} <= "
+                   f"{sender.lower.name} <= sender on every execution")
         else:
-            self._record_site(
-                DFALL, expr, description, RESIDUAL,
-                f"guard in {guard_fact} not provably below sender in "
-                f"{sender}")
+            record(RESIDUAL,
+                   f"guard in {guard_fact} not provably below sender "
+                   f"in {sender}")
 
 
 def _atom_name(atom) -> str:

@@ -23,14 +23,16 @@ a given ``CheckedProgram``.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
-from repro.analysis.obligations import (DFALL, ELIDED, SNAPSHOT_BOUND,
-                                        CheckSite, ProgramAnalyzer)
+from repro.analysis.obligations import (DFALL, ELIDED, RESIDUAL,
+                                        SNAPSHOT_BOUND, CheckSite,
+                                        ProgramAnalyzer)
 from repro.analysis.report import AnalysisReport
 from repro.lang.typechecker import CheckedProgram
 
-__all__ = ["analyze_program", "plan_elisions", "apply_plan"]
+__all__ = ["analyze_program", "plan_elisions", "apply_plan",
+           "apply_assignment"]
 
 
 def apply_plan(sites: List[CheckSite]) -> int:
@@ -38,6 +40,37 @@ def apply_plan(sites: List[CheckSite]) -> int:
     applied = 0
     for site in sites:
         if site.status != ELIDED or site.node is None:
+            continue
+        if site.kind == DFALL:
+            site.node.elide_dfall = True
+            applied += 1
+        elif site.kind == SNAPSHOT_BOUND:
+            site.node.elide_bound = True
+            applied += 1
+    return applied
+
+
+def apply_assignment(sites: List[CheckSite],
+                     pinned: Iterable[str]) -> int:
+    """Annotate the AST as if ``pinned`` classes were statically moded.
+
+    This is the advisor's "what if" operator (``repro advise``): pinning
+    a ``?``-moded class to a static mode discharges exactly the residual
+    obligations *targeting* it — its dfall guards and snapshot bound
+    checks become typechecker facts, so the engines may skip them.  The
+    attributor still runs (the class still adapts); only the checks that
+    re-verify its mode at use sites are discharged.  Sites the planner
+    already proved elidable are annotated too, same as ``apply_plan``.
+
+    Returns the number of AST annotations applied.  Like ``apply_plan``,
+    the flags are only read when ``InterpOptions.elide_checks`` is on.
+    """
+    pinned = set(pinned)
+    applied = apply_plan(sites)
+    for site in sites:
+        if site.status != RESIDUAL or site.node is None:
+            continue
+        if site.owner_class not in pinned:
             continue
         if site.kind == DFALL:
             site.node.elide_dfall = True

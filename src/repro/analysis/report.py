@@ -48,11 +48,37 @@ class AnalysisReport:
     def residual_sites(self) -> List[CheckSite]:
         return [s for s in self.sites if s.status == RESIDUAL]
 
+    def by_class(self) -> Dict[str, Dict[str, object]]:
+        """Per-class rollup of check obligations — the advisor's input.
+
+        Sites are grouped by :attr:`CheckSite.owner_class` (the class
+        whose mode discipline *causes* the obligation: the receiver of a
+        dfall, the snapshotted class of a bound check).  Each bucket
+        carries the status counts plus the residual/elided site-ID lists
+        so ``repro advise`` can join them against profiler counts on the
+        shared ``<kind>@<line>:<column>`` keys.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for site in self._sorted():
+            bucket = out.setdefault(site.owner_class, {
+                "counts": {status: 0 for status in _STATUSES},
+                "residual_sites": [],
+                "elided_sites": [],
+            })
+            counts = bucket["counts"]
+            counts[site.status] = counts.get(site.status, 0) + 1
+            if site.status == RESIDUAL:
+                bucket["residual_sites"].append(site.site_id)
+            elif site.status == ELIDED:
+                bucket["elided_sites"].append(site.site_id)
+        return {name: out[name] for name in sorted(out)}
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "file": self.file,
             "counts": self.counts,
             "by_kind": self.by_kind(),
+            "by_class": self.by_class(),
             "checks": [site.as_dict() for site in self._sorted()],
         }
 

@@ -212,6 +212,58 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--trace-capacity", type=int, default=65536,
                          help="event capacity for the --energy tracer")
 
+    advise = sub.add_parser(
+        "advise",
+        help="sweep static-vs-? mode assignments and report the "
+             "energy/risk Pareto frontier (docs/ADVISE.md)")
+    advise.add_argument("file")
+    advise.add_argument("args", nargs="*",
+                        help="arguments passed to main")
+    advise.add_argument("--arch",
+                        choices=["sim45nm", "skylake", "cortex-a53"],
+                        default="sim45nm",
+                        help="cost-model architecture table "
+                             "(default sim45nm)")
+    advise.add_argument("--engine", choices=list(ENGINES), default=None,
+                        help="engine for the calibration runs")
+    advise.add_argument("--samples", type=int, default=256,
+                        help="Monte-Carlo draws per pinned class "
+                             "(default 256)")
+    advise.add_argument("--runs", type=int, default=4,
+                        help="calibration runs per battery level "
+                             "(default 4)")
+    advise.add_argument("--seed", type=int, default=0)
+    advise.add_argument("--system", choices=["A", "B", "C"],
+                        default="A",
+                        help="platform simulator for calibration "
+                             "(default A)")
+    advise.add_argument("--battery", type=float, action="append",
+                        default=None, metavar="F",
+                        help="battery level for the calibration "
+                             "episodes; repeat for a grid "
+                             "(default 1.0)")
+    advise.add_argument("--jobs", type=int, default=1,
+                        help="parallel calibration workers; 0 = one "
+                             "per CPU (results are identical for any "
+                             "value)")
+    advise.add_argument("--top", type=int, default=None,
+                        help="candidate rows to print (frontier rows "
+                             "always shown)")
+    advise.add_argument("--json", action="store_true",
+                        help="emit the full result as one JSON object")
+    advise.add_argument("--out", metavar="PATH", default=None,
+                        help="also write the JSON result to PATH")
+    advise.add_argument("--calibrate-from", action="append",
+                        default=None, metavar="PROFILE_JSON",
+                        help="fold a `repro profile --json --energy` "
+                             "payload into the cost table; repeatable")
+    advise.add_argument("--cost-model", metavar="PATH", default=None,
+                        help="load the cost model from a JSON file "
+                             "instead of the built-in --arch table")
+    advise.add_argument("--fuel", type=int, default=None,
+                        help="maximum evaluation steps per "
+                             "calibration run")
+
     disasm = sub.add_parser(
         "disasm",
         help="lower to register bytecode and pretty-print it")
@@ -433,10 +485,14 @@ def _cmd_profile(args) -> int:
         status = 3
     profile = profiler.profile
     energy = None
+    intervals = None
     if args.energy and tracer is not None:
+        from repro.advise import builtin_model, energy_intervals
         from repro.obs.report import energy_attribution
         _scope, attribution = energy_attribution(tracer.events())
         energy = energy_by_label(profile, attribution)
+        intervals = energy_intervals(profile, attribution,
+                                     builtin_model())
     diff = None
     if report is not None:
         from repro.analysis import static_vs_observed
@@ -451,18 +507,75 @@ def _cmd_profile(args) -> int:
             payload["energy_by_label"] = {
                 label: round(joules, 9)
                 for label, joules in sorted(energy.items())}
+        if intervals is not None:
+            payload["energy_intervals"] = {
+                label: value.as_dict(digits=9)
+                for label, value in sorted(intervals.items())}
         if diff is not None:
             payload["static_vs_observed"] = diff.as_dict()
         print(json.dumps(payload))
     else:
         print(render_profile(profile, top=args.top, checks=args.checks,
-                             energy=energy))
+                             energy=intervals if intervals is not None
+                             else energy))
         if diff is not None:
             print()
             print(diff.render())
     if diff is not None and not diff.clean:
         return status or 4
     return status
+
+
+def _cmd_advise(args) -> int:
+    """Sweep per-class mode assignments and report the Pareto frontier.
+
+    Each dynamic class either keeps ``?`` or is pinned to one of its
+    attributor's reachable modes; candidates are calibrated empirically
+    on the simulated platform (paired seeds — identical behaviour means
+    bit-identical energy), residual checks are priced by the
+    per-architecture cost model, and mode-violation risk is estimated
+    by Monte-Carlo over the observed attributor distributions.  See
+    ``docs/ADVISE.md``.
+    """
+    from repro.advise import (AdviseConfig, CostModel, advise_source,
+                              builtin_model)
+
+    source = _read(args.file)
+    if args.cost_model is not None:
+        model = CostModel.load(args.cost_model)
+    else:
+        model = builtin_model(args.arch)
+    for path in (args.calibrate_from or []):
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        absorbed = model.calibrate(payload)
+        print(f"[advise: calibrated {absorbed} label(s) from {path}]",
+              file=sys.stderr)
+    batteries = tuple(args.battery) if args.battery else (1.0,)
+    config = AdviseConfig(
+        arch=model.arch,
+        engine=resolve_engine(args.engine),
+        system=args.system,
+        seed=args.seed,
+        runs=args.runs,
+        samples=args.samples,
+        batteries=batteries,
+        jobs=args.jobs,
+        program_args=tuple(args.args))
+    if args.fuel is not None:
+        config.fuel = args.fuel
+    result = advise_source(source, file=args.file, config=config,
+                           model=model)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+            handle.write("\n")
+        print(f"[advise -> {args.out} (json)]", file=sys.stderr)
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.render(top=args.top))
+    return 0
 
 
 def _cmd_obs(args) -> int:
@@ -627,6 +740,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "run": _cmd_run,
     "analyze": _cmd_analyze,
+    "advise": _cmd_advise,
     "profile": _cmd_profile,
     "obs": _cmd_obs,
     "disasm": _cmd_disasm,

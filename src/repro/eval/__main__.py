@@ -69,6 +69,38 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="parallel sweep workers (default: serial, "
                             "0 = all cores)")
 
+    from repro.lang.engines import ENGINES
+
+    advise = sub.add_parser(
+        "advise",
+        help="Pareto mode advisor over a battery episode grid "
+             "(repro.advise; docs/ADVISE.md)")
+    advise.add_argument("--file", default="examples/ent/crawler.ent",
+                        help="ENT program to advise "
+                             "(default examples/ent/crawler.ent)")
+    advise.add_argument("--system", choices=["A", "B", "C"],
+                        default="A")
+    advise.add_argument("--batteries", type=float, nargs="+",
+                        default=[1.0, 0.6, 0.3],
+                        help="battery levels forming the episode "
+                             "grid (default 1.0 0.6 0.3)")
+    advise.add_argument("--arch",
+                        choices=["sim45nm", "skylake", "cortex-a53"],
+                        default="sim45nm")
+    advise.add_argument("--engine", default=None,
+                        choices=list(ENGINES))
+    advise.add_argument("--runs", type=int, default=2,
+                        help="calibration runs per battery level")
+    advise.add_argument("--samples", type=int, default=128,
+                        help="Monte-Carlo draws per pinned class")
+    advise.add_argument("--seed", type=int, default=0)
+    advise.add_argument("--jobs", type=int, default=None,
+                        help="parallel calibration workers (default: "
+                             "serial, 0 = all cores; results are "
+                             "bit-identical for any value)")
+    advise.add_argument("--json", action="store_true",
+                        help="emit the full result as one JSON object")
+
     episode = sub.add_parser(
         "episode", help="run one traced E1/E2/E3 episode")
     episode.add_argument("--experiment", choices=["e1", "e2", "e3"],
@@ -104,6 +136,36 @@ def _build_parser() -> argparse.ArgumentParser:
     episode.add_argument("--trace-capacity", type=int, default=65536)
 
     return parser
+
+
+def _run_advise(args) -> int:
+    """Advise over a battery episode grid (``repro.eval advise``).
+
+    The grid plays the role of the drain sweep's episodes: each
+    candidate assignment is calibrated at every battery level, so the
+    frontier reflects the program's behaviour across the discharge,
+    not a single lucky episode.  Output is bit-identical for any
+    ``--jobs`` value.
+    """
+    from repro.advise import AdviseConfig, advise_file, builtin_model
+    from repro.lang.engines import resolve_engine
+
+    config = AdviseConfig(
+        arch=args.arch,
+        engine=resolve_engine(args.engine),
+        system=args.system,
+        seed=args.seed,
+        runs=args.runs,
+        samples=args.samples,
+        batteries=tuple(args.batteries),
+        jobs=args.jobs if args.jobs is not None else 1)
+    result = advise_file(args.file, config=config,
+                         model=builtin_model(args.arch))
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.render())
+    return 0
 
 
 def _run_episode(args) -> int:
@@ -231,6 +293,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"E={step.energy_j:.1f}J")
             print(f"monotone downward: {run.monotone_downward()}")
         return 0
+    if args.command == "advise":
+        return _run_advise(args)
     if args.command == "episode":
         return _run_episode(args)
     tracer = _figure_tracer(args)

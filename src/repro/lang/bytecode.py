@@ -45,7 +45,8 @@ from repro.lang import ast_nodes as ast
 from repro.lang import types as ty
 
 __all__ = ["VMCode", "CallSite", "lower_body", "lower_expr",
-           "instrument", "disassemble", "OP_NAMES"]
+           "instrument", "disassemble", "OP_NAMES", "OP_COST_KEYS",
+           "op_cost_key"]
 
 # ---------------------------------------------------------------------------
 # Opcodes.  Roughly hotness-ordered: the dispatch loop in vm.py probes
@@ -146,6 +147,51 @@ OP_NAMES = {
     OP_BREAK_NOLOOP: "BREAK_NOLOOP", OP_CONT_NOLOOP: "CONT_NOLOOP",
     OP_PROFILE: "PROFILE",
 }
+
+# ---------------------------------------------------------------------------
+# Stable cost keys.  The energy cost model (``repro.advise.costmodel``)
+# prices work per *cost key*, not per opcode number: opcode numbering is
+# hotness-ordered and free to change between PRs, but the keys below are
+# a stable, documented vocabulary that per-architecture cost tables are
+# written against.  Families mirror the profiler's label scheme
+# (``op.ADD`` → key ``alu``; ``check.dfall@3:4`` → key ``check.dfall``)
+# so calibration can join measured joules back onto the same keys.
+
+OP_COST_KEYS = {
+    OP_FUEL: "control", OP_JF_LT: "branch", OP_JF_LE: "branch",
+    OP_JF_GT: "branch", OP_JF_GE: "branch", OP_JF_EQ: "branch",
+    OP_JF_NE: "branch", OP_CALL_DFALL: "check.dfall",
+    OP_CALL_NODFALL: "call", OP_INC: "alu", OP_MOD: "alu",
+    OP_JUMP: "branch", OP_FIELD_ADD: "field", OP_RET_FIELD: "field",
+    OP_RETURN: "control", OP_ADD: "alu", OP_MOVE: "move",
+    OP_GETF_THIS: "field", OP_SUB: "alu", OP_MUL: "alu",
+    OP_DIV: "alu", OP_LT: "alu", OP_LE: "alu", OP_GT: "alu",
+    OP_GE: "alu", OP_EQ: "alu", OP_NE: "alu", OP_JF: "branch",
+    OP_JT: "branch", OP_SETF_THIS: "field", OP_SETF: "field",
+    OP_GETF: "field", OP_GETF_RAW: "field",
+    OP_GETF_THIS_RAW: "field", OP_GETF_THIS_ARG: "field",
+    OP_GETF_ARG: "field", OP_VAR_DYN: "move", OP_VAR_DYN_RAW: "move",
+    OP_VAR_DYN_ARG: "move", OP_MCASE_DISPATCH: "check.mcase_elim",
+    OP_MCASE_BUILD: "alloc", OP_MSELECT: "check.mcase_elim",
+    OP_SNAPSHOT: "check.snapshot_bound", OP_SNAPSHOT_ELIDE: "call",
+    OP_CAST: "check.snapshot_bound", OP_CAST_ERR: "control",
+    OP_NEW: "alloc",
+    OP_NEW_LIST: "alloc", OP_LIST_BUILD: "alloc",
+    OP_INSTANCEOF: "alu", OP_NEG: "alu", OP_NOT: "alu",
+    OP_LOAD_THIS: "move", OP_LOAD_NATIVE: "move",
+    OP_CALL_NATIVE: "native", OP_FOREACH_INIT: "control",
+    OP_FOREACH_ITER: "branch", OP_PUSH_HANDLER: "control",
+    OP_POP_HANDLER: "control", OP_THROW: "control",
+    OP_RETURN_NONE: "control", OP_FALLOFF: "control",
+    OP_BREAK_NOLOOP: "control", OP_CONT_NOLOOP: "control",
+    OP_PROFILE: "control",
+}
+
+
+def op_cost_key(op: int) -> str:
+    """Stable cost-model key for an opcode (``'default'`` if unknown)."""
+    return OP_COST_KEYS.get(op, "default")
+
 
 #: Fused conditional jumps and value-producing compare ops by operator.
 _JF_MAP = {"<": OP_JF_LT, "<=": OP_JF_LE, ">": OP_JF_GT,

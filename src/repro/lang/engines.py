@@ -31,6 +31,21 @@ ENGINES = ("walk", "compiled", "vm", "jit")
 
 DEFAULT_ENGINE = "walk"
 
+#: Stable profiler-label families, shared by every engine.  The VM
+#: emits ``op.<OPNAME>`` labels, the walk/compiled engines
+#: ``node.<NodeClass>``; all engines share ``call.<Class>.<method>``,
+#: ``check.<kind>@<line>:<column>``, ``native.<cls>.<method>`` and
+#: ``attributor.<Class>`` — the cost model (``repro.advise``) resolves
+#: labels to per-architecture cost keys through this vocabulary.
+LABEL_KINDS = ("op", "node", "call", "check", "native", "attributor")
+
+
+def label_kind(label: str) -> str:
+    """First segment of a profiler label if it is a known family,
+    ``'default'`` otherwise — the cost model's coarse fallback key."""
+    head = label.split(".", 1)[0].split("@", 1)[0]
+    return head if head in LABEL_KINDS else "default"
+
 
 def resolve_engine(engine: Optional[str] = None,
                    compile_flag: bool = False) -> str:

@@ -159,8 +159,25 @@ def render_prometheus(registry) -> str:
     if registry.gauges:
         lines.append("# TYPE repro_gauge gauge")
         for name in sorted(registry.gauges):
-            lines.append(f'repro_gauge{{name="{_prom_label(name)}"}} '
-                         f"{_prom_float(float(registry.gauges[name]))}")
+            value = registry.gauges[name]
+            label = _prom_label(name)
+            mean = getattr(value, "mean", None)
+            if mean is None:
+                lines.append(f'repro_gauge{{name="{label}"}} '
+                             f"{_prom_float(float(value))}")
+                continue
+            # Interval-valued gauge (repro.advise.propagate.Uncertain,
+            # duck-typed): the bare series carries the mean, and the
+            # 99% bounds ride along under a ``ci`` label so dashboards
+            # can band the estimate.
+            std = getattr(value, "std", 0.0)
+            half = 2.575829 * std
+            lines.append(f'repro_gauge{{name="{label}"}} '
+                         f"{_prom_float(float(mean))}")
+            lines.append(f'repro_gauge{{name="{label}",ci="lo"}} '
+                         f"{_prom_float(float(mean - half))}")
+            lines.append(f'repro_gauge{{name="{label}",ci="hi"}} '
+                         f"{_prom_float(float(mean + half))}")
     if registry.histograms:
         lines.append("# TYPE repro_histogram histogram")
         for name in sorted(registry.histograms):

@@ -446,10 +446,29 @@ def _format_seconds(seconds: float) -> str:
     return fmt(seconds)
 
 
+def _format_joules(value) -> str:
+    """Format one energy cell: a plain float, or anything interval-
+    shaped (``mean``/``std`` attributes, e.g.
+    :class:`repro.advise.propagate.Uncertain`) as ``mean ± half-width``
+    at 99% confidence.  Duck-typed so the profiler has no dependency
+    on the advisor."""
+    mean = getattr(value, "mean", None)
+    if mean is None:
+        return f"{value:.6f}"
+    std = getattr(value, "std", 0.0)
+    if std > 0.0:
+        return f"{mean:.6f} ± {2.575829 * std:.6f}"
+    return f"{mean:.6f}"
+
+
 def render_profile(profile: Profile, top: Optional[int] = None,
                    checks: bool = False,
-                   energy: Optional[Dict[str, float]] = None) -> str:
-    """The plain-text report behind ``repro profile``."""
+                   energy: Optional[Dict[str, object]] = None) -> str:
+    """The plain-text report behind ``repro profile``.
+
+    ``energy`` maps labels to joules — plain floats or interval-valued
+    ``Uncertain`` quantities; intervals render as ``mean ± half``.
+    """
     from repro.eval.report import render_table
 
     sections: List[str] = []
@@ -476,7 +495,7 @@ def render_profile(profile: Profile, top: Optional[int] = None,
                _format_seconds(hist.mean),
                f"{hist.total / total:6.1%}" if total else "-"]
         if with_energy:
-            row.append(f"{joules.get(name, 0.0):.6f}")
+            row.append(_format_joules(joules.get(name, 0.0)))
         rows.append(row)
     table = render_table(headers, rows)
     if dropped > 0:
@@ -504,7 +523,8 @@ def render_profile(profile: Profile, top: Optional[int] = None,
             row = [sid, entry["kind"], entry["executed"],
                    entry["elided"]]
             if with_energy:
-                row.append(f"{joules.get('check.' + sid, 0.0):.6f}")
+                row.append(_format_joules(
+                    joules.get("check." + sid, 0.0)))
             rows.append(row)
         headers = ["site", "kind", "executed", "elided"]
         if with_energy:

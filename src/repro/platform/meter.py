@@ -12,18 +12,29 @@ The paper measures energy three different ways:
 
 All meters observe the same underlying platform energy ledger; they
 differ in which components they see and the measurement noise they add.
-Noise is seeded so experiments are reproducible.
+Noise is seeded so experiments are reproducible: by default each meter
+draws from its own :class:`repro.core.rng.SplitMix64` stream derived
+with :func:`repro.core.rng.derive_seed` under the ``seed`` argument, so
+meter noise is independent of (and never perturbs) any other stream —
+the advisor's Monte-Carlo draws in particular — and the whole meter
+pickles.  Passing ``rng=`` (anything with a ``gauss`` method, e.g. the
+platform's own :class:`random.Random`) overrides the default, exactly
+as before.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.errors import EntError
+from repro.core.rng import SplitMix64, derive_seed
 from repro.obs.events import MeterSampleEvent
 from repro.obs.tracer import NULL_TRACER
+
+#: Stream constant scoping default meter-noise seeds away from every
+#: other ``derive_seed`` consumer (fleet devices, advisor MC, …).
+METER_NOISE_STREAM = 0x4D45_5445
 
 
 @dataclass
@@ -64,11 +75,12 @@ class Meter:
     #: Relative gaussian measurement noise (1 sigma).
     noise_rel: float = 0.0
 
-    def __init__(self, ledger: EnergyLedger,
-                 rng: Optional[random.Random] = None,
-                 tracer=None) -> None:
+    def __init__(self, ledger: EnergyLedger, rng=None, tracer=None,
+                 seed: int = 0) -> None:
         self._ledger = ledger
-        self._rng = rng if rng is not None else random.Random(0)
+        if rng is None:
+            rng = SplitMix64(derive_seed(seed, METER_NOISE_STREAM))
+        self._rng = rng
         self._start: Optional[EnergyLedger] = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
 

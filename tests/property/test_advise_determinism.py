@@ -1,0 +1,154 @@
+"""End-to-end guarantees of ``repro advise`` (docs/ADVISE.md):
+
+* **Determinism** — the full JSON result is bit-identical across
+  ``--jobs`` values and repeated runs for a fixed seed; worker
+  completion order must never leak into scores or frontier order.
+* **Observation-only** — advising a program changes nothing about how
+  that program runs: every ``InterpStats`` counter (steps, checks,
+  copies, exceptions) is bit-identical before and after a sweep,
+  because candidates are realized as fresh parses of fresh sources.
+* **Frontier shape** — both worked examples yield at least three
+  non-dominated assignments, including the all-dynamic baseline at
+  risk 0 (the paper's trade-off is real, not degenerate).
+* **Interval honesty** — replaying each frontier assignment on
+  held-out platform seeds lands inside the reported 99% confidence
+  interval at least 90% of the time.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.advise import (VALIDATE_STREAM, AdviseConfig, advise_file,
+                          advise_source, measure_assignment)
+from repro.core.rng import derive_seed
+from repro.lang.interp import Interpreter, InterpOptions
+from repro.lang.typechecker import check_program
+from repro.platform.systems import make_platform
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+CRAWLER = ROOT / "examples" / "ent" / "crawler.ent"
+SENSORS = ROOT / "examples" / "ent" / "sensors.ent"
+
+#: Small-but-real sweep parameters: full candidate space, two paired
+#: calibration runs, enough MC draws to be meaningful.
+FAST = dict(runs=2, samples=64)
+
+
+def _advise(path, jobs=1, seed=0, **overrides):
+    params = dict(FAST)
+    params.update(overrides)
+    return advise_file(str(path),
+                       config=AdviseConfig(jobs=jobs, seed=seed,
+                                           **params))
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+
+
+@pytest.mark.parametrize("path", [CRAWLER, SENSORS],
+                         ids=lambda p: p.stem)
+def test_jobs_invariance(path):
+    serial = _advise(path, jobs=1).to_json()
+    parallel = _advise(path, jobs=4).to_json()
+    assert serial == parallel
+
+
+def test_repeat_determinism():
+    first = _advise(CRAWLER, jobs=2).to_json()
+    second = _advise(CRAWLER, jobs=2).to_json()
+    assert first == second
+
+
+def test_battery_grid_determinism():
+    grid = dict(batteries=(1.0, 0.45), runs=1, samples=32)
+    serial = _advise(SENSORS, jobs=1, **grid).to_json()
+    parallel = _advise(SENSORS, jobs=3, **grid).to_json()
+    assert serial == parallel
+
+
+# ---------------------------------------------------------------------------
+# Observation-only
+
+
+def _run_stats(source: str) -> dict:
+    checked = check_program(source)
+    from repro.analysis import plan_elisions
+    plan_elisions(checked)
+    platform = make_platform("A", seed=0)
+    interp = Interpreter(checked, platform=platform,
+                         options=InterpOptions(engine="walk"), seed=0)
+    interp.run([])
+    stats = interp.stats.as_dict()
+    stats["energy_j"] = platform.energy_total_j()
+    return stats
+
+
+def test_advising_is_observation_only():
+    source = CRAWLER.read_text()
+    before = _run_stats(source)
+    advise_source(source, file=str(CRAWLER),
+                  config=AdviseConfig(runs=1, samples=16))
+    after = _run_stats(source)
+    assert before == after  # every counter, bit for bit
+
+
+# ---------------------------------------------------------------------------
+# Frontier shape
+
+
+@pytest.mark.parametrize("path", [CRAWLER, SENSORS],
+                         ids=lambda p: p.stem)
+def test_frontier_has_at_least_three_points(path):
+    result = _advise(path, jobs=4)
+    assert len(result.frontier) >= 3
+    names = [c.name for c in result.frontier]
+    assert len(set(names)) == len(names)
+    # The all-dynamic baseline is always non-dominated: it is the only
+    # assignment with zero pins, hence zero violation risk.
+    baseline = [c for c in result.frontier
+                if all(m is None for m in c.assignment.values())]
+    assert len(baseline) == 1
+    assert baseline[0].risk == 0.0
+    # Frontier energies are strictly increasing while risks strictly
+    # decrease (the definition of a frontier, post-sort).
+    energies = [c.energy.mean for c in result.frontier]
+    risks = [c.risk for c in result.frontier]
+    assert energies == sorted(energies)
+    assert risks == sorted(risks, reverse=True)
+
+
+def test_frontier_members_are_mutually_nondominated():
+    from repro.advise import dominates
+
+    result = _advise(CRAWLER, jobs=4)
+    for a in result.frontier:
+        for b in result.frontier:
+            if a is not b:
+                assert not dominates(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Interval honesty (the >= 90% acceptance bar)
+
+
+@pytest.mark.parametrize("path", [CRAWLER, SENSORS],
+                         ids=lambda p: p.stem)
+def test_frontier_cis_cover_heldout_runs(path):
+    config = AdviseConfig(runs=3, samples=64, jobs=4)
+    result = advise_file(str(path), config=config)
+    source = path.read_text()
+    assert len(result.frontier) >= 3
+    for cand in result.frontier:
+        lo, hi = cand.energy.ci()
+        inside = 0
+        trials = 10
+        for i in range(trials):
+            seed = derive_seed(config.seed, VALIDATE_STREAM, i)
+            measured = measure_assignment(source, cand.assignment,
+                                          config, seed,
+                                          file=str(path))
+            if lo <= measured["energy_j"] <= hi:
+                inside += 1
+        assert inside >= 0.9 * trials, (cand.name, inside, lo, hi)

@@ -401,7 +401,7 @@ def test_report_counts_and_serialization():
     for check in payload["checks"]:
         assert set(check) == {"kind", "context", "description",
                               "status", "reason", "line", "column",
-                              "site_id"}
+                              "site_id", "target_class"}
     # by_kind totals must agree with the flat counts.
     totals = {status: 0 for status in (STATIC, ELIDED, RESIDUAL)}
     for bucket in payload["by_kind"].values():
