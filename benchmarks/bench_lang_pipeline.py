@@ -164,6 +164,61 @@ def test_bench_check_elision(benchmark, engine):
     assert interp.stats.dfall_checks == 0
 
 
+HOT_RESIDUAL = MODES + """
+class R@mode<?X> {
+    int load;
+    attributor {
+        if (load > 100) { return full_throttle; }
+        if (load > 10) { return managed; }
+        return energy_saver;
+    }
+    R(int load) { this.load = load; }
+    int get() { return load; }
+}
+class Main {
+    void main() {
+        R@mode<?> r = new R@mode<?>(50);
+        int total = 0;
+        int i = 0;
+        while (i < 8000) {
+            R s = snapshot r [managed, full_throttle];
+            total = total + s.get();
+            i = i + 1;
+        }
+        Sys.print(total);
+    }
+}
+"""
+RESIDUAL_CHECKED = check_program(HOT_RESIDUAL)
+
+
+@pytest.mark.parametrize("engine", ["walk", "compiled", "vm", "jit"])
+@pytest.mark.parametrize("checks", ["full", "transient"])
+def test_bench_transient_checks(benchmark, engine, checks):
+    """Full vs transient check depth on the residual-heavy loop: every
+    iteration re-snapshots the same tagged object (attributor re-run +
+    copy under full; one tag probe under transient) and pays a residual
+    dfall.  The checks stay un-elided: the attributor's mode hull is
+    wider than the snapshot bounds, so the planner cannot prove them."""
+
+    def run():
+        interp = Interpreter(
+            RESIDUAL_CHECKED,
+            options=InterpOptions(fuel=10_000_000, engine=engine,
+                                  checks=checks))
+        interp.run()
+        return interp
+
+    interp = benchmark(run)
+    assert interp.output == ["400000"]
+    assert interp.stats.bound_checks == 8000
+    if checks == "transient":
+        assert interp.stats.shallow_checks == 16_000
+        assert interp.stats.copies == 0
+    else:
+        assert interp.stats.shallow_checks == 0
+
+
 SMALLSTEP_SOURCE = MODES + """
 class D@mode<?X> {
     int n;
@@ -212,6 +267,10 @@ def _sample(fn, repeats):
     import math
     import time
 
+    # One untimed warmup repeat: the first run pays one-off costs
+    # (lazy body lowering, cache population, allocator warmup) that
+    # are not the steady-state signal and inflate both mean and std.
+    fn()
     samples = []
     for _ in range(repeats):
         start = time.perf_counter()
@@ -234,6 +293,19 @@ def _run_hot_loop(engine, checked=None):
     if interp.output != ["23997"]:
         raise AssertionError(
             f"hot loop produced {interp.output!r}, expected ['23997']")
+    return interp
+
+
+def _run_residual_loop(engine, checks):
+    interp = Interpreter(
+        RESIDUAL_CHECKED,
+        options=InterpOptions(fuel=10_000_000, engine=engine,
+                              checks=checks))
+    interp.run()
+    if interp.output != ["400000"]:
+        raise AssertionError(
+            f"residual loop produced {interp.output!r}, "
+            f"expected ['400000']")
     return interp
 
 
@@ -301,11 +373,23 @@ def measure(repeats=5):
         benches[f"hot_loop_elide_{engine}_s"] = _sample(
             lambda engine=engine: _run_hot_loop(engine, HOT_ELIDED),
             repeats)
+        benches[f"hot_loop_residual_{engine}_s"] = _sample(
+            lambda engine=engine: _run_residual_loop(engine, "full"),
+            repeats)
+        benches[f"hot_loop_transient_{engine}_s"] = _sample(
+            lambda engine=engine: _run_residual_loop(engine,
+                                                     "transient"),
+            repeats)
     return {
         "bench": "lang_pipeline",
         "repeats": repeats,
         "benches": benches,
         "checks": _check_counts(),
+        "transient_speedup": {
+            engine: round(
+                benches[f"hot_loop_residual_{engine}_s"]["min"]
+                / benches[f"hot_loop_transient_{engine}_s"]["min"], 3)
+            for engine in ENGINES},
         "python": host_platform.python_version(),
         "machine": host_platform.machine(),
     }
@@ -364,6 +448,11 @@ def main(argv=None):
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="fail when a smoke bench is this many times "
                              "slower than the baseline (default 2.0)")
+    parser.add_argument("--min-transient-speedup", type=float,
+                        default=None, metavar="RATIO",
+                        help="fail unless transient checking beats full "
+                             "checking by at least RATIO on the residual "
+                             "hot loop for the vm and jit engines")
     args = parser.parse_args(argv)
 
     # Load the baseline up front: when --out and --check name the same
@@ -389,6 +478,24 @@ def main(argv=None):
         if not ok:
             print("ERROR: lang-pipeline smoke bench regressed beyond "
                   f"{args.max_regression}x", file=sys.stderr)
+            return 1
+
+    if args.min_transient_speedup is not None:
+        # Gate only the compiled tiers: the walk/compiled engines also
+        # win from transient checks, but the perf bar of this PR is the
+        # vm's shallow opcodes and the jit's inlined tag probes.
+        failed = False
+        for engine in ("vm", "jit"):
+            ratio = payload["transient_speedup"][engine]
+            status = "ok"
+            if ratio < args.min_transient_speedup:
+                failed = True
+                status = (f"FAIL (< {args.min_transient_speedup:.2f}x)")
+            print(f"transient speedup [{engine}]: {ratio:.2f}x {status}")
+        if failed:
+            print("ERROR: transient checking is not "
+                  f"{args.min_transient_speedup:.2f}x faster than full "
+                  "on the residual hot loop", file=sys.stderr)
             return 1
     return 0
 

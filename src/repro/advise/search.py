@@ -190,6 +190,9 @@ class AdviseConfig:
     jobs: int = 1                    # 0 = one worker per CPU
     fuel: int = 5_000_000
     program_args: Tuple[str, ...] = ()
+    #: Dynamic-check depth for calibration runs (``full`` or
+    #: ``transient``); forwarded to :class:`InterpOptions.checks`.
+    checks: str = "full"
     max_candidates: int = 128
     ci_rel_floor: float = 0.015
 
@@ -224,7 +227,8 @@ def _calibration_worker(task: Dict[str, object]) -> Dict[str, object]:
         tracer = Tracer(capacity=task.get("trace_capacity", 65536))
     profiler = Profiler(task["engine"])
     options = InterpOptions(engine=task["engine"], elide_checks=True,
-                            fuel=task["fuel"])
+                            fuel=task["fuel"],
+                            checks=task.get("checks", "full"))
     interp = Interpreter(checked, platform=platform, options=options,
                          seed=task["platform_seed"], tracer=tracer,
                          profiler=profiler)
@@ -433,6 +437,7 @@ def advise_source(source: str, file: str = "<advise>",
                         cfg.seed, CAL_STREAM, run_idx, bat_idx),
                     "fuel": cfg.fuel,
                     "args": tuple(cfg.program_args),
+                    "checks": cfg.checks,
                     "collect_events": dynamic_baseline,
                 }
 
@@ -563,6 +568,7 @@ def measure_assignment(source: str,
         "platform_seed": platform_seed,
         "fuel": config.fuel,
         "args": tuple(config.program_args),
+        "checks": config.checks,
         "collect_events": False,
     })
 

@@ -9,14 +9,22 @@ Three cooperating passes over a ``CheckedProgram``:
   propagates dynamically-enforced mode intervals through locals and
   method boundaries;
 * the **elision planner** (:mod:`.planner`) annotates the AST so the
-  interpreter and compiler skip the checks proven to always pass.
+  interpreter and compiler skip the checks proven to always pass;
+* the **residual-cost pass** (:mod:`.cost`) bounds how many times each
+  residual check can fire (loop-trip bounds × interprocedural
+  activation counts) — the static overhead guarantee ``repro analyze``
+  prints and ``static_vs_observed`` validates against profiler counts.
 
 Entry points: :func:`analyze_program` (report only, or ``annotate=True``
 to also plan), :func:`plan_elisions` (analyze + annotate, what
 ``repro run`` uses).  The soundness argument lives in docs/ANALYSIS.md.
 """
 
-from repro.analysis.modeflow import ModeFact, join_facts, join_envs
+from repro.analysis.cost import (CHECK_COST, TRANSIENT_COST, ClassCost,
+                                 CostSummary, activation_counts,
+                                 attach_cost_bounds)
+from repro.analysis.modeflow import (Bound, ModeFact, OMEGA, ONE, ZERO,
+                                     join_facts, join_envs)
 from repro.analysis.obligations import (CheckSite, ProgramAnalyzer,
                                         DFALL, SNAPSHOT_BOUND,
                                         MCASE_ELIM, STATIC, ELIDED,
@@ -31,4 +39,6 @@ __all__ = ["ModeFact", "join_facts", "join_envs", "CheckSite",
            "static_vs_observed", "analyze_program", "apply_plan",
            "apply_assignment", "plan_elisions", "DFALL",
            "SNAPSHOT_BOUND", "MCASE_ELIM", "STATIC", "ELIDED",
-           "RESIDUAL"]
+           "RESIDUAL", "Bound", "OMEGA", "ONE", "ZERO", "CHECK_COST",
+           "TRANSIENT_COST", "ClassCost", "CostSummary",
+           "activation_counts", "attach_cost_bounds"]

@@ -27,12 +27,77 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import reduce
-from typing import Dict, FrozenSet, Iterable, Optional
+from typing import Dict, FrozenSet, Iterable, Optional, Union
 
 from repro.core.modes import BOTTOM, TOP, Mode, ModeLattice
 
 __all__ = ["ModeFact", "join_facts", "join_envs", "glb", "lub",
-           "hull_fact", "refine"]
+           "hull_fact", "refine", "Bound", "OMEGA", "ONE", "ZERO"]
+
+
+@dataclass(frozen=True)
+class Bound:
+    """A symbolic execution-count bound: a non-negative integer or ω.
+
+    The domain of the residual-cost pass (:mod:`.cost`): how many times
+    a program point can execute.  ``count is None`` encodes ω (no
+    static bound — an unbounded loop or a reachable call-graph cycle).
+    Addition and multiplication are the usual ω-absorbing arithmetic,
+    except ``0 * ω = 0``: a point inside an unbounded loop that is
+    itself unreachable still never executes.
+    """
+
+    count: Optional[int]
+
+    @property
+    def finite(self) -> bool:
+        return self.count is not None
+
+    def __add__(self, other: "Bound") -> "Bound":
+        if self.count is None or other.count is None:
+            return OMEGA
+        return Bound(self.count + other.count)
+
+    def __mul__(self, other: "Bound") -> "Bound":
+        if self.count == 0 or other.count == 0:
+            return ZERO
+        if self.count is None or other.count is None:
+            return OMEGA
+        return Bound(self.count * other.count)
+
+    def scaled(self, units: int) -> "Bound":
+        """``self * units`` for a plain non-negative int."""
+        if units == 0 or self.count == 0:
+            return ZERO
+        if self.count is None:
+            return OMEGA
+        return Bound(self.count * units)
+
+    def covers(self, observed: int) -> bool:
+        """Is an observed execution count consistent with this bound?"""
+        return self.count is None or observed <= self.count
+
+    def capped(self, fuel: Optional[int]) -> "Bound":
+        """Replace ω by a finite fuel budget (``repro analyze --fuel``)."""
+        if self.count is None and fuel is not None:
+            return Bound(fuel)
+        return self
+
+    def render(self) -> str:
+        return "ω" if self.count is None else str(self.count)
+
+    def as_json(self) -> Union[int, None]:
+        """JSON form: the integer, or ``null`` for ω."""
+        return self.count
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+#: Shared constants of the bound domain.
+OMEGA = Bound(None)
+ONE = Bound(1)
+ZERO = Bound(0)
 
 
 @dataclass(frozen=True)

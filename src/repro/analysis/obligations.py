@@ -32,8 +32,9 @@ from functools import reduce
 from typing import (Dict, FrozenSet, Iterator, List, Optional, Set,
                     Tuple, Union)
 
-from repro.analysis.modeflow import (ModeFact, hull_fact, join_envs,
-                                     join_facts, refine)
+from repro.analysis.modeflow import (OMEGA, ONE, Bound, ModeFact,
+                                     hull_fact, join_envs, join_facts,
+                                     refine)
 from repro.core.modes import BOTTOM, TOP, Mode
 from repro.lang import ast_nodes as ast
 from repro.lang.types import ClassInfo, MethodInfo, ObjectType
@@ -73,6 +74,25 @@ class CheckSite:
     #: The AST node carrying the obligation (consumed by the planner;
     #: not part of the serialized report).
     node: object = field(default=None, repr=False, compare=False)
+    #: End of the site's source span (the start is ``line``/``column``).
+    end_line: Optional[int] = None
+    end_column: Optional[int] = None
+    #: How many loops enclose the site within its body.
+    loop_depth: int = 0
+    #: Executions of the site per activation of its enclosing body:
+    #: the product of the enclosing loops' trip-count bounds.
+    local_trips: Bound = ONE
+    #: Activations of the enclosing body per program run (set by the
+    #: cost pass, :mod:`.cost`).
+    activations: Optional[Bound] = None
+    #: ``local_trips * activations`` — the static bound on how many
+    #: times this check can fire in one program run.
+    firings: Optional[Bound] = None
+    #: Abstract per-firing depth cost of the full (deep) check, in
+    #: check-cost units (:data:`repro.analysis.cost.CHECK_COST`).
+    cost_units: int = 0
+    #: True when an ω trip bound was replaced by the ``--fuel`` budget.
+    fuel_capped: bool = False
 
     @property
     def owner_class(self) -> str:
@@ -91,7 +111,7 @@ class CheckSite:
         return f"{self.kind}@{self.line}:{self.column}"
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "kind": self.kind,
             "context": self.context,
             "description": self.description,
@@ -101,7 +121,25 @@ class CheckSite:
             "column": self.column,
             "site_id": self.site_id,
             "target_class": self.target_class,
+            "span": {
+                "line": self.line,
+                "column": self.column,
+                "end_line": self.end_line,
+                "end_column": self.end_column,
+            },
+            "loop_depth": self.loop_depth,
+            "local_trips": self.local_trips.as_json(),
         }
+        if self.activations is not None:
+            out["activations"] = self.activations.as_json()
+        if self.firings is not None:
+            out["firings_bound"] = self.firings.as_json()
+            out["cost_units"] = self.cost_units
+            cost = self.firings.scaled(self.cost_units)
+            out["cost_bound"] = cost.as_json()
+            if self.fuel_capped:
+                out["fuel_capped"] = True
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -244,6 +282,15 @@ class ProgramAnalyzer:
         self._hull_cache: Dict[str, Optional[FrozenSet[Mode]]] = {}
         self._profile_cache: Dict[Tuple[str, str], GuardProfile] = {}
         self._analyzed = False
+        #: Stack of enclosing-loop trip bounds within the current body.
+        self._loop_stack: List[Bound] = []
+        #: Known integer constants for locals (counted-loop detection).
+        self._ints: Dict[str, int] = {}
+        #: Call-multigraph edges ``(caller_ctx, callee_ctx, weight)``
+        #: recorded during the recording walk; the weight is the
+        #: product of the enclosing loops' trip bounds at the call.
+        #: Consumed by the residual-cost pass (:mod:`.cost`).
+        self.edges: List[Tuple[str, str, Bound]] = []
         self.main_at_top = self._compute_main_at_top()
 
     # ------------------------------------------------------------------
@@ -488,6 +535,8 @@ class ProgramAnalyzer:
             return None
         self._ctx = f"{cls.name}.{mdecl.name}"
         self._sender = self._sender_fact(cls, info, minfo)
+        self._loop_stack = []
+        self._ints = {}
         self._returns = []
         self._visit_stmt(body, {})
         returns, self._returns = self._returns, None
@@ -558,6 +607,8 @@ class ProgramAnalyzer:
     def _enter(self, context: str, sender: ModeFact) -> None:
         self._ctx = context
         self._sender = sender
+        self._loop_stack = []
+        self._ints = {}
 
     def _record_site(self, kind: str, node, description: str,
                      status: str, reason: str,
@@ -567,11 +618,18 @@ class ProgramAnalyzer:
             # Mode-case eliminations run against the *enclosing*
             # object's mode: the context's class owns them.
             target_class = self._ctx.split(".", 1)[0]
+        trips = ONE
+        for bound in self._loop_stack:
+            trips = trips * bound
         self.sites.append(CheckSite(
             kind=kind, context=self._ctx, description=description,
             status=status, reason=reason,
             line=span.line if span is not None else None,
             column=span.column if span is not None else None,
+            end_line=span.end_line if span is not None else None,
+            end_column=span.end_column if span is not None else None,
+            loop_depth=len(self._loop_stack),
+            local_trips=trips,
             target_class=target_class,
             node=node))
 
@@ -591,6 +649,11 @@ class ProgramAnalyzer:
                 env.pop(stmt.name, None)
             else:
                 env[stmt.name] = fact
+            if stmt.init is not None and stmt.init.__class__ is \
+                    ast.IntLit:
+                self._ints[stmt.name] = stmt.init.value
+            else:
+                self._ints.pop(stmt.name, None)
         elif cls is ast.Assign:
             fact = self._visit_expr(stmt.value, env)
             target = stmt.target
@@ -600,59 +663,192 @@ class ProgramAnalyzer:
                         env.pop(target.name, None)
                     else:
                         env[target.name] = fact
+                if stmt.value.__class__ is ast.IntLit:
+                    self._ints[target.name] = stmt.value.value
+                else:
+                    self._ints.pop(target.name, None)
             elif target.__class__ is ast.FieldAccess:
                 self._visit_expr(target.obj, env)
         elif cls is ast.ExprStmt:
             self._visit_expr(stmt.expr, env)
         elif cls is ast.If:
             self._visit_expr(stmt.cond, env)
+            entry_ints = dict(self._ints)
             then_env = dict(env)
             self._visit_stmt(stmt.then, then_env)
+            then_ints = self._ints
+            self._ints = dict(entry_ints)
             else_env = dict(env)
             if stmt.otherwise is not None:
                 self._visit_stmt(stmt.otherwise, else_env)
             merged = join_envs(then_env, else_env, self.lattice)
             env.clear()
             env.update(merged)
+            self._ints = _merge_ints(then_ints, self._ints)
         elif cls is ast.While:
             # Conservative loop rule: drop every local assigned inside
             # the loop; what remains holds on every iteration and after
             # the loop.  Facts established sequentially *within* an
             # iteration (local declarations) are handled by the body
             # walk itself.
+            trips = self._while_trips(stmt)
             for name in assigned_locals(stmt.body):
                 env.pop(name, None)
+                self._ints.pop(name, None)
             self._visit_expr(stmt.cond, env)
             body_env = dict(env)
+            self._loop_stack.append(trips)
             self._visit_stmt(stmt.body, body_env)
+            self._loop_stack.pop()
         elif cls is ast.Foreach:
             self._visit_expr(stmt.iterable, env)
+            trips = (Bound(len(stmt.iterable.elements))
+                     if stmt.iterable.__class__ is ast.ListLit
+                     else OMEGA)
             for name in assigned_locals(stmt.body) | {stmt.var_name}:
                 env.pop(name, None)
+                self._ints.pop(name, None)
             body_env = dict(env)
+            self._loop_stack.append(trips)
             self._visit_stmt(stmt.body, body_env)
+            self._loop_stack.pop()
         elif cls is ast.Return:
             fact = (self._visit_expr(stmt.expr, env)
                     if stmt.expr is not None else None)
             if self._returns is not None:
                 self._returns.append(fact)
         elif cls is ast.TryCatch:
+            entry_ints = dict(self._ints)
             body_env = dict(env)
             self._visit_stmt(stmt.body, body_env)
+            body_ints = self._ints
             # The handler may resume after any prefix of the body:
             # start from the entry env minus everything the body can
             # rebind.
             handler_env = dict(env)
+            self._ints = dict(entry_ints)
             for name in assigned_locals(stmt.body):
                 handler_env.pop(name, None)
+                self._ints.pop(name, None)
             self._visit_stmt(stmt.handler, handler_env)
             merged = join_envs(body_env, handler_env, self.lattice)
             env.clear()
             env.update(merged)
+            self._ints = _merge_ints(body_ints, self._ints)
         elif cls is ast.Throw:
             self._visit_expr(stmt.expr, env)
         # Break / Continue carry no expressions; the surrounding loop
         # rule already discards anything they could invalidate.
+
+    # ------------------------------------------------------------------
+    # Counted-loop trip bounds
+
+    def _while_trips(self, stmt: ast.While) -> Bound:
+        """Trip-count bound for a ``while``: exact for the counted
+        idiom ``i = c; while (i < N) { ...; i = i + s; }`` (the
+        increment a top-level body statement, no other write to ``i``,
+        no ``continue`` that could skip it), ω otherwise.  ``break``
+        only exits early, so the count stays an upper bound."""
+        cond = stmt.cond
+        if cond.__class__ is not ast.Binary or \
+                cond.op not in ("<", "<="):
+            return OMEGA
+        var, limit = cond.left, cond.right
+        if (var.__class__ is not ast.Var or var.resolved_kind != "local"
+                or limit.__class__ is not ast.IntLit):
+            return OMEGA
+        start = self._ints.get(var.name)
+        if start is None:
+            return OMEGA
+        body = stmt.body
+        if body.__class__ is not ast.Block:
+            return OMEGA
+        writes: List[ast.Assign] = []
+        for child in iter_stmts(body):
+            ccls = child.__class__
+            if ccls is ast.Continue:
+                return OMEGA
+            if ccls is ast.LocalVarDecl and child.name == var.name:
+                return OMEGA
+            if ccls is ast.Foreach and child.var_name == var.name:
+                return OMEGA
+            if ccls is ast.Assign and \
+                    child.target.__class__ is ast.Var and \
+                    child.target.name == var.name:
+                writes.append(child)
+        if len(writes) != 1 or \
+                not any(s is writes[0] for s in body.stmts):
+            return OMEGA
+        step = _increment_step(writes[0].value, var.name)
+        if step is None:
+            return OMEGA
+        width = limit.value - start + (1 if cond.op == "<=" else 0)
+        return Bound(max(0, -(-width // step)))
+
+    def _edge_weight(self) -> Bound:
+        weight = ONE
+        for bound in self._loop_stack:
+            weight = weight * bound
+        return weight
+
+    def _record_call_edges(self, class_name: str, method: str) -> None:
+        weight = self._edge_weight()
+        for minfo in self._override_minfos(class_name, method):
+            self.edges.append(
+                (self._ctx, f"{minfo.owner}.{minfo.name}", weight))
+            if minfo.has_attributor:
+                self.edges.append(
+                    (self._ctx,
+                     f"{minfo.owner}.{minfo.name}.<attributor>",
+                     weight))
+
+    def _record_new_edges(self, expr: ast.New) -> None:
+        resolved = getattr(expr, "resolved_type", None)
+        if not isinstance(resolved, ObjectType) or \
+                resolved.class_name not in self.table:
+            return
+        weight = self._edge_weight()
+        info = self.table.get(resolved.class_name)
+        # Construction runs every inherited field initializer plus the
+        # class's own constructor (see ``Interpreter._construct``).
+        current: Optional[ClassInfo] = info
+        while current is not None:
+            decl = current.decl
+            if decl is not None:
+                for fdecl in decl.fields:
+                    if fdecl.init is not None:
+                        self.edges.append(
+                            (self._ctx,
+                             f"{current.name}.<field {fdecl.name}>",
+                             weight))
+            current = (self.table.get(current.superclass)
+                       if current.superclass else None)
+        if info.decl is not None and info.decl.constructor is not None:
+            self.edges.append(
+                (self._ctx, f"{info.name}.<init>", weight))
+
+    def _attributor_owner(self, info: ClassInfo) -> Optional[str]:
+        current: Optional[ClassInfo] = info
+        while current is not None:
+            decl = current.decl
+            if decl is not None and decl.attributor is not None:
+                return current.name
+            current = (self.table.get(current.superclass)
+                       if current.superclass else None)
+        return None
+
+    def _record_snapshot_edges(self, class_name: str) -> None:
+        # One snapshot runs exactly one attributor, but the object may
+        # be any subclass: an edge per distinct reachable attributor.
+        weight = self._edge_weight()
+        targets: Set[str] = set()
+        for info in self._subclasses(class_name):
+            owner = self._attributor_owner(info)
+            if owner is not None:
+                targets.add(owner)
+        for owner in sorted(targets):
+            self.edges.append(
+                (self._ctx, f"{owner}.<attributor>", weight))
 
     # ------------------------------------------------------------------
     # Expressions
@@ -669,6 +865,8 @@ class ProgramAnalyzer:
         elif cls is ast.New:
             for arg in expr.args:
                 self._visit_expr(arg, env)
+            if self._recording:
+                self._record_new_edges(expr)
             fact = self._new_fact(expr)
         elif cls is ast.Snapshot:
             fact = self._visit_snapshot(expr, env)
@@ -742,6 +940,8 @@ class ProgramAnalyzer:
         lo_concrete = isinstance(lo_atom, Mode)
         hi_concrete = isinstance(hi_atom, Mode)
         if self._recording:
+            if class_name is not None and class_name in self.table:
+                self._record_snapshot_edges(class_name)
             description = (f"snapshot {class_name or '?'} "
                            f"[{_atom_name(lo_atom)}, "
                            f"{_atom_name(hi_atom)}]")
@@ -791,6 +991,7 @@ class ProgramAnalyzer:
             # Native / String / List call: no waterfall obligation.
             return None
         if self._recording:
+            self._record_call_edges(rtype.class_name, expr.name)
             self._classify_dfall(expr, rtype, minfo, receiver_fact)
         return self._call_result_fact(rtype.class_name, expr.name)
 
@@ -850,6 +1051,30 @@ class ProgramAnalyzer:
             record(RESIDUAL,
                    f"guard in {guard_fact} not provably below sender "
                    f"in {sender}")
+
+
+def _merge_ints(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
+    """Branch merge for the integer-constant environment: keep only
+    names bound to the same value on both paths."""
+    return {name: value for name, value in a.items()
+            if b.get(name) == value}
+
+
+def _increment_step(value: ast.Expr, name: str) -> Optional[int]:
+    """The step of ``name = name + k`` / ``name = k + name`` (k >= 1),
+    or ``None`` when the write is not that idiom."""
+    if value.__class__ is not ast.Binary or value.op != "+":
+        return None
+    left, right = value.left, value.right
+    if left.__class__ is ast.Var and left.name == name and \
+            right.__class__ is ast.IntLit:
+        step = right.value
+    elif right.__class__ is ast.Var and right.name == name and \
+            left.__class__ is ast.IntLit:
+        step = left.value
+    else:
+        return None
+    return step if step >= 1 else None
 
 
 def _atom_name(atom) -> str:

@@ -23,8 +23,9 @@ a given ``CheckedProgram``.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
+from repro.analysis.cost import attach_cost_bounds
 from repro.analysis.obligations import (DFALL, ELIDED, RESIDUAL,
                                         SNAPSHOT_BOUND, CheckSite,
                                         ProgramAnalyzer)
@@ -82,18 +83,22 @@ def apply_assignment(sites: List[CheckSite],
 
 
 def analyze_program(checked: CheckedProgram, *, annotate: bool = False,
-                    file: str = None) -> AnalysisReport:
-    """Run the obligation + mode-flow passes over a checked program.
+                    file: str = None,
+                    fuel: Optional[int] = None) -> AnalysisReport:
+    """Run the obligation + mode-flow + residual-cost passes.
 
     With ``annotate=True`` the elision plan is also applied to the AST
     (what ``plan_elisions`` and ``repro run`` do); without it the
     report is purely informational (what ``repro analyze`` does).
+    ``fuel`` caps ω cost-bound factors by the runtime fuel budget
+    (``repro analyze --fuel``).
     """
     analyzer = ProgramAnalyzer(checked)
     sites = analyzer.analyze()
+    cost = attach_cost_bounds(analyzer, fuel=fuel)
     if annotate:
         apply_plan(sites)
-    return AnalysisReport(sites=sites, file=file)
+    return AnalysisReport(sites=sites, file=file, cost=cost)
 
 
 def plan_elisions(checked: CheckedProgram) -> AnalysisReport:

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.analysis.cost import CHECK_COST, CostSummary
+from repro.analysis.modeflow import Bound
 from repro.analysis.obligations import (ELIDED, RESIDUAL, STATIC,
                                         CheckSite)
 
@@ -26,6 +28,9 @@ class AnalysisReport:
 
     sites: List[CheckSite] = field(default_factory=list)
     file: Optional[str] = None
+    #: The residual-cost rollup (:mod:`repro.analysis.cost`), when the
+    #: cost pass ran.
+    cost: Optional[CostSummary] = None
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -74,13 +79,16 @@ class AnalysisReport:
         return {name: out[name] for name in sorted(out)}
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "file": self.file,
             "counts": self.counts,
             "by_kind": self.by_kind(),
             "by_class": self.by_class(),
             "checks": [site.as_dict() for site in self._sorted()],
         }
+        if self.cost is not None:
+            out["residual_cost"] = self.cost.as_dict()
+        return out
 
     def _sorted(self) -> List[CheckSite]:
         return sorted(
@@ -97,20 +105,55 @@ class AnalysisReport:
                   f"{counts[ELIDED]} elided, {counts[RESIDUAL]} residual")
         if not self.sites:
             return header
-        rows = [("line", "kind", "status", "site", "reason")]
+        rows = [("line", "kind", "status", "bound", "site", "reason")]
         for site in self._sorted():
+            if site.status == RESIDUAL and site.firings is not None:
+                bound = "<=" + site.firings.render()
+                if site.fuel_capped:
+                    bound += "*"
+            else:
+                bound = "-"
             rows.append((
                 str(site.line) if site.line is not None else "-",
-                site.kind, site.status,
+                site.kind, site.status, bound,
                 f"{site.context}: {site.description}", site.reason))
         widths = [max(len(row[col]) for row in rows)
-                  for col in range(4)]
+                  for col in range(5)]
         lines = [header]
         for row in rows:
             lines.append("  " + "  ".join(
-                [row[col].ljust(widths[col]) for col in range(4)]
-                + [row[4]]).rstrip())
+                [row[col].ljust(widths[col]) for col in range(5)]
+                + [row[5]]).rstrip())
+        lines.extend(self._render_cost())
         return "\n".join(lines)
+
+    def _render_cost(self) -> List[str]:
+        """The static residual-cost guarantee section."""
+        if self.cost is None or not self.cost.program.residual_sites:
+            return []
+        units = ", ".join(f"{kind}={cost}"
+                          for kind, cost in sorted(CHECK_COST.items()))
+        lines = ["residual cost bounds "
+                 f"(per-firing units: {units}; transient=1):"]
+        for name, cls_cost in sorted(self.cost.by_class.items()):
+            lines.append(
+                f"  {name}: {cls_cost.residual_sites} residual "
+                f"site(s), <={cls_cost.firings.render()} firings, "
+                f"<={cls_cost.full_units.render()} units full, "
+                f"<={cls_cost.transient_units.render()} transient")
+        program = self.cost.program
+        suffix = ""
+        if not program.firings.finite:
+            suffix = (" (unbounded loop or recursion; rerun with "
+                      "--fuel N for a fuel-capped bound)")
+        elif self.cost.fuel is not None:
+            suffix = f" (* = capped by --fuel {self.cost.fuel})"
+        lines.append(
+            f"  program: {program.residual_sites} residual site(s), "
+            f"<={program.firings.render()} firings, "
+            f"<={program.full_units.render()} units full, "
+            f"<={program.transient_units.render()} transient{suffix}")
+        return lines
 
 
 def _locatable(sid: str) -> bool:
@@ -179,10 +222,18 @@ def static_vs_observed(report: AnalysisReport, profile) -> StaticVsObserved:
     its ``check_sites`` mapping is read, so merged/deserialized profiles
     work too).  Sound elision means: a site whose every obligation was
     classified ``elided`` must show ``executed == 0`` at runtime.
+    Sound cost bounds mean: a residual site with a *finite* static
+    firings bound must never fire more often than the bound says.
     """
     predicted: Dict[str, List[str]] = {}
+    bounds: Dict[str, Bound] = {}
     for site in report.sites:
         predicted.setdefault(site.site_id, []).append(site.status)
+        if site.status == RESIDUAL and site.firings is not None and \
+                not site.fuel_capped:
+            prior = bounds.get(site.site_id)
+            bounds[site.site_id] = (site.firings if prior is None
+                                    else prior + site.firings)
 
     diff = StaticVsObserved(file=report.file)
     for sid in sorted(profile.check_sites):
@@ -203,8 +254,15 @@ def static_vs_observed(report: AnalysisReport, profile) -> StaticVsObserved:
         row["predicted"] = {
             status: statuses.count(status) for status in _STATUSES
             if status in statuses}
+        bound = bounds.get(sid)
+        if bound is not None:
+            row["bound"] = bound.as_json()
         if executed and all(status == ELIDED for status in statuses):
             row["reason"] = "fired despite being classified elided"
+            diff.violations.append(row)
+        elif bound is not None and not bound.covers(executed):
+            row["reason"] = ("exceeded the static residual bound "
+                             f"<={bound.render()}")
             diff.violations.append(row)
         else:
             diff.matches.append(row)

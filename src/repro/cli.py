@@ -120,6 +120,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable the run-time caches (method tables, "
                           "call-site ICs, dfall memo); semantics are "
                           "identical — see docs/PERFORMANCE.md")
+    run.add_argument("--checks", choices=["full", "transient"],
+                     default="full",
+                     help="dynamic-check depth: full (the paper's deep "
+                          "checks, default) or transient (O(1) shallow "
+                          "tag probes with blame tracking; see "
+                          "docs/ANALYSIS.md)")
     run.add_argument("--fuel", type=int, default=None,
                      help="maximum evaluation steps")
     run.add_argument("--system", choices=["A", "B", "C"], default=None,
@@ -148,6 +154,10 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("file")
     analyze.add_argument("--json", action="store_true",
                          help="emit the report as one JSON object")
+    analyze.add_argument("--fuel", type=int, default=None,
+                         help="cap unbounded (ω) loop/recursion "
+                              "factors in the residual-cost bounds at "
+                              "N, marking capped sites with *")
     analyze.add_argument("--embedded", action="store_true",
                          help="treat FILE as Python using the embedded "
                               "API and run the runtime linter instead")
@@ -181,6 +191,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="rows in the hot-label table (default 15)")
     profile.add_argument("--checks", action="store_true",
                          help="include the per-check-site table")
+    profile.add_argument("--check-mode", choices=["full", "transient"],
+                         default="full",
+                         help="dynamic-check depth to profile under "
+                              "(counters are mode-invariant, so the "
+                              "static-vs-observed oracle applies to "
+                              "both)")
     profile.add_argument("--energy", action="store_true",
                          help="attribute measured joules to labels "
                               "(implies a platform; default --system A)")
@@ -278,6 +294,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "print the specialized Python source the "
                              "JIT emitted per body (cold bodies are "
                              "emitted speculatively)")
+    disasm.add_argument("--checks", choices=["full", "transient"],
+                        default="full",
+                        help="lower residual checks for this check "
+                             "depth: transient selects the shallow "
+                             "opcodes (CALL_SHALLOW, SNAPSHOT_SHALLOW)")
 
     pretty = sub.add_parser("pretty", help="parse and pretty-print")
     pretty.add_argument("file")
@@ -369,7 +390,8 @@ def _cmd_run(args) -> int:
                             lazy_copy=not args.eager_copy,
                             fuel=args.fuel, engine=engine,
                             inline_caches=not args.no_inline_caches,
-                            elide_checks=not args.no_elide)
+                            elide_checks=not args.no_elide,
+                            checks=args.checks)
     interp = Interpreter(checked, platform=platform, options=options,
                          seed=args.seed, tracer=tracer)
     status = 0
@@ -408,7 +430,8 @@ def _cmd_analyze(args) -> int:
     checked = check_program(
         _read(args.file),
         strict_mcase_coverage=not args.lenient_mcase)
-    report = analyze_program(checked, file=args.file)
+    report = analyze_program(checked, file=args.file,
+                             fuel=args.fuel)
     if args.json:
         print(json.dumps(report.as_dict()))
     else:
@@ -474,7 +497,8 @@ def _cmd_profile(args) -> int:
     profiler = Profiler(engine)
     options = InterpOptions(silent=args.silent, fuel=args.fuel,
                             engine=engine,
-                            elide_checks=not args.no_elide)
+                            elide_checks=not args.no_elide,
+                            checks=args.check_mode)
     interp = Interpreter(checked, platform=platform, options=options,
                          seed=args.seed, tracer=tracer, profiler=profiler)
     status = 0
@@ -624,7 +648,8 @@ def _cmd_disasm(args) -> int:
     interp = Interpreter(
         checked,
         options=InterpOptions(engine=engine, fuel=5_000_000,
-                              elide_checks=not args.no_elide))
+                              elide_checks=not args.no_elide,
+                              checks=args.checks))
     vm = interp._vm
     if args.jit:
         from repro.core.errors import EntRuntimeError

@@ -19,7 +19,11 @@ register file:
   are consumed at lowering time by *opcode selection*: a call site the
   planner proved safe lowers to ``CALL_NODFALL`` and a proven snapshot
   to ``SNAPSHOT_ELIDE`` — the check simply is not emitted (the elided
-  counters keep the executed+elided sum invariant).
+  counters keep the executed+elided sum invariant).  Under
+  ``--checks transient`` the residual checks lower to the dedicated
+  shallow opcodes instead (``CALL_SHALLOW``, ``SNAPSHOT_SHALLOW``):
+  the VM and JIT collapse them to O(1) probes against the
+  interpreter's precomputed upward-closure table.
 * **Superinstructions** — fused compare-and-branch (``JF_LT`` & co),
   ``INC`` for the canonical ``i = i + 1``, ``FIELD_ADD`` for
   ``this.f = this.f + x``, ``RET_FIELD`` for ``return this.f``, and
@@ -117,6 +121,8 @@ OP_FALLOFF = 61        # ()               body end without return
 OP_BREAK_NOLOOP = 62   # ()
 OP_CONT_NOLOOP = 63    # ()
 OP_PROFILE = 64        # (label,)  profiler bump (instrument() only)
+OP_CALL_SHALLOW = 65   # (dst, site, recv|None)  transient shallow dfall
+OP_SNAPSHOT_SHALLOW = 66  # (dst, src, bounds, span)  transient re-snapshot
 
 OP_NAMES = {
     OP_FUEL: "FUEL", OP_JF_LT: "JF_LT", OP_JF_LE: "JF_LE",
@@ -145,7 +151,8 @@ OP_NAMES = {
     OP_POP_HANDLER: "POP_HANDLER", OP_THROW: "THROW",
     OP_RETURN_NONE: "RETURN_NONE", OP_FALLOFF: "FALLOFF",
     OP_BREAK_NOLOOP: "BREAK_NOLOOP", OP_CONT_NOLOOP: "CONT_NOLOOP",
-    OP_PROFILE: "PROFILE",
+    OP_PROFILE: "PROFILE", OP_CALL_SHALLOW: "CALL_SHALLOW",
+    OP_SNAPSHOT_SHALLOW: "SNAPSHOT_SHALLOW",
 }
 
 # ---------------------------------------------------------------------------
@@ -184,7 +191,8 @@ OP_COST_KEYS = {
     OP_POP_HANDLER: "control", OP_THROW: "control",
     OP_RETURN_NONE: "control", OP_FALLOFF: "control",
     OP_BREAK_NOLOOP: "control", OP_CONT_NOLOOP: "control",
-    OP_PROFILE: "control",
+    OP_PROFILE: "control", OP_CALL_SHALLOW: "check.dfall",
+    OP_SNAPSHOT_SHALLOW: "check.snapshot_bound",
 }
 
 
@@ -287,6 +295,10 @@ class _Lowering:
 
     def __init__(self, interp) -> None:
         self.interp = interp
+        #: Transient check depth (``--checks transient``): residual
+        #: checks lower to the dedicated shallow opcodes so the VM and
+        #: JIT pay an O(1) tag probe instead of the deep helper call.
+        self.transient = interp._transient
         self.instrs: List[list] = []
         self.consts: List[object] = []
         self.const_map: Dict[tuple, int] = {}
@@ -661,8 +673,13 @@ class _Lowering:
             bounds = (getattr(expr, "resolved_bounds", None)
                       or (BOTTOM, TOP))
             dest = self.temp() if dst is None else dst
-            self.emit(OP_SNAPSHOT_ELIDE if expr.elide_bound
-                      else OP_SNAPSHOT, dest, src, bounds, expr.span)
+            if expr.elide_bound:
+                snap_op = OP_SNAPSHOT_ELIDE
+            elif self.transient:
+                snap_op = OP_SNAPSHOT_SHALLOW
+            else:
+                snap_op = OP_SNAPSHOT
+            self.emit(snap_op, dest, src, bounds, expr.span)
             return dest
         if cls is ast.Cast:
             src = self.expr(expr.expr)
@@ -805,8 +822,13 @@ class _Lowering:
                         tuple(p[1] for p in pairs),
                         expr.elide_dfall, recv_is_this, raw)
         dest = self.temp() if dst is None else dst
-        self.emit(OP_CALL_NODFALL if expr.elide_dfall else OP_CALL_DFALL,
-                  dest, site, recv_reg)
+        if expr.elide_dfall:
+            call_op = OP_CALL_NODFALL
+        elif self.transient:
+            call_op = OP_CALL_SHALLOW
+        else:
+            call_op = OP_CALL_DFALL
+        self.emit(call_op, dest, site, recv_reg)
         return dest
 
     def _arg(self, expr) -> Tuple[int, Optional[int]]:
@@ -918,8 +940,11 @@ def instrument(code: VMCode) -> VMCode:
 _CHECK_NOTES = {
     OP_CALL_DFALL: ";; DFALL_CHECK",
     OP_CALL_NODFALL: ";; DFALL_CHECK elided by repro.analysis",
+    OP_CALL_SHALLOW: ";; DFALL_CHECK (transient: shallow tag probe)",
     OP_SNAPSHOT: ";; BOUND_CHECK",
     OP_SNAPSHOT_ELIDE: ";; BOUND_CHECK elided by repro.analysis",
+    OP_SNAPSHOT_SHALLOW:
+        ";; BOUND_CHECK (transient: tag-vs-bounds probe)",
     OP_MCASE_DISPATCH: ";; MCASE_DISPATCH (implicit elimination)",
 }
 

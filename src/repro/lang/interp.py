@@ -141,6 +141,14 @@ class InterpOptions:
     #: differential suite in ``tests/property/test_vm_agreement.py``
     #: enforces it.
     engine: Optional[str] = None
+    #: Check depth: ``"full"`` runs the paper's deep checks;
+    #: ``"transient"`` collapses re-snapshot bound checks and dfall
+    #: guards to O(1) mode-tag comparisons with blame provenance
+    #: (``repro run --checks transient``; see docs/ANALYSIS.md).
+    #: Transient agrees with full on programs whose checks pass; on a
+    #: failing check it raises the same exception class with the
+    #: originating snapshot/cast site appended to the message.
+    checks: str = "full"
 
 
 @dataclass
@@ -163,6 +171,12 @@ class InterpStats:
     energy_exceptions: int = 0
     mcase_elims: int = 0
     objects_created: int = 0
+    #: Checks executed as O(1) shallow tag comparisons under
+    #: ``checks="transient"`` (always 0 in full mode).  Shallow checks
+    #: are also counted in ``dfall_checks``/``bound_checks``: a shallow
+    #: check is still an executed check, so the profiler's site counters
+    #: and the static-vs-observed oracle are mode-independent.
+    shallow_checks: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in field_list(self)}
@@ -343,6 +357,20 @@ class Interpreter:
         self.engine = engine = resolve_engine(
             self.options.engine, compile_flag=self.options.compile)
         self._compile_on = engine == "compiled"
+        # Transient checking (``--checks transient``): deep checks
+        # collapse to tag comparisons against a precomputed upward-
+        # closure table — O(1) set probes instead of lattice walks.
+        # Meaningless under baseline (no checks run at all).  Computed
+        # before the VM is constructed: bytecode lowering and the VM's
+        # fast-path gates read it.
+        self._transient = (self.options.checks == "transient"
+                           and not self.options.baseline)
+        self._mode_up: Dict[Mode, frozenset] = {}
+        if self._transient:
+            modes = tuple(self.lattice.modes)
+            self._mode_up = {
+                m: frozenset(x for x in modes if self.lattice.leq(m, x))
+                for m in modes}
         self._vm = None
         if engine == "vm" or engine == "jit":
             from repro.lang.vm import VM, JITVM
@@ -600,6 +628,12 @@ class Interpreter:
             env = self._full_mode_env(info, own_env)
         obj = ObjectV(info, env, {})
         self.stats.objects_created += 1
+        if self._transient and span is not None and \
+                obj.effective_mode is not None:
+            # A concrete-mode construction fixes the tag for life: it
+            # is the blame provenance for transient check failures on
+            # this object (the "cast" arm of the blame map).
+            obj.provenance = site_id("new", span)
         # Field defaults and initializers, superclass-first.
         init_frame = _Frame(this_obj=obj, mode_env=env,
                             current_mode=frame.current_mode)
@@ -817,7 +851,12 @@ class Interpreter:
                 f"{receiver!r} (method {minfo.name}); a well-typed "
                 f"program cannot reach this state")
         sender_mode = sender if sender is not None else TOP
-        if self.options.inline_caches:
+        if self._transient:
+            # Shallow tag comparison: one set probe against the
+            # precomputed upward closure, no lattice walk.
+            self.stats.shallow_checks += 1
+            holds = sender_mode in self._mode_up[guard]
+        elif self.options.inline_caches:
             key = (guard, sender_mode)
             holds = self._dfall_cache.get(key)
             if holds is None:
@@ -838,11 +877,24 @@ class Interpreter:
             message = (f"waterfall invariant violated: receiver mode "
                        f"{guard.name} > sender mode {sender_mode.name} "
                        f"(method {minfo.owner}.{minfo.name})")
+            if self._transient:
+                message += self._blame("dfall", span,
+                                       receiver.provenance)
             if self.tracer.enabled:
                 self.tracer.energy_exception(message, mode=guard,
                                              upper=sender_mode,
                                              source="interp")
             raise EnergyException(message, mode=guard, upper=sender_mode)
+
+    def _blame(self, kind: str, span,
+               provenance: Optional[str]) -> str:
+        """Transient-mode failure suffix: the failing check site plus
+        the provenance of the snapshot/cast that produced the value.
+        Appended to the full-mode message, so full and transient agree
+        up to this bracketed suffix."""
+        where = site_id(kind, span)
+        blame = provenance if provenance is not None else "construction"
+        return f" [transient: site {where}; blame {blame}]"
 
     def _eval_method_attributor(self, receiver: ObjectV,
                                 minfo: MethodInfo,
@@ -1413,6 +1465,13 @@ class Interpreter:
         atoms (shared with the compiler)."""
         if not isinstance(value, ObjectV):
             raise StuckError(f"cannot snapshot {value!r}")
+        if self._transient and value.is_snapshot:
+            # Transient re-snapshot: the tag was established by an
+            # earlier (deep) snapshot and can never change again, so
+            # the attributor re-run and the copy collapse to an O(1)
+            # tag-vs-bounds comparison; the object passes through.
+            return self._snapshot_shallow(value, bounds, frame,
+                                          elide_bound, span)
         attributor = self._find_attributor(value.class_info)
         if attributor is None:
             raise StuckError(
@@ -1478,6 +1537,11 @@ class Interpreter:
             message = (f"bad check: attributor of "
                        f"{value.class_info.name} returned {mode.name}, "
                        f"outside [{lower.name}, {upper.name}]")
+            if self._transient:
+                # The deep (first-snapshot) check also names its site
+                # in transient mode; the failing site is its own blame.
+                message += self._blame("snapshot_bound", span,
+                                       value.provenance)
             if traced:
                 self.tracer.energy_exception(message, mode=mode,
                                              lower=lower, upper=upper,
@@ -1489,9 +1553,61 @@ class Interpreter:
                 f"object:{value.class_info.name}", previous_mode, mode)
         if self.options.lazy_copy and not value.is_snapshot:
             self.stats.lazy_tags += 1
+            if span is not None:
+                value.provenance = site_id("snapshot_bound", span)
             return value.tag_in_place(mode)
         self.stats.copies += 1
-        return value.shallow_copy(mode)
+        copy = value.shallow_copy(mode)
+        if span is not None:
+            copy.provenance = site_id("snapshot_bound", span)
+        return copy
+
+    def _snapshot_shallow(self, value: ObjectV, bounds, frame: _Frame,
+                          elide_bound: bool, span) -> object:
+        """The transient re-snapshot check (``--checks transient``): an
+        O(1) comparison of the established mode tag against the bounds
+        via the precomputed upward-closure table.  No attributor run,
+        no copy — monotonic type change is preserved because the tag
+        was fixed by the first (deep) snapshot."""
+        self.stats.snapshots += 1
+        mode = value.effective_mode
+        if elide_bound and self._elide_bound_on:
+            self.stats.bound_checks_elided += 1
+            if self.profiler.enabled:
+                self.profiler.check_elided("snapshot_bound", span)
+            return value
+        lower = self._resolve_atom(bounds[0], frame)
+        upper = self._resolve_atom(bounds[1], frame)
+        lower = lower if lower is not None else BOTTOM
+        upper = upper if upper is not None else TOP
+        self.stats.bound_checks += 1
+        self.stats.shallow_checks += 1
+        if self.profiler.enabled:
+            self.profiler.check("snapshot_bound", span,
+                                frame.current_mode)
+        up = self._mode_up
+        ok = mode in up[lower] and upper in up[mode]
+        if self.tracer.enabled:
+            self.tracer.emit(SnapshotEvent(
+                ts=self.tracer.now(), cls=value.class_info.name,
+                mode=mode.name, lower=lower.name, upper=upper.name,
+                ok=ok, lazy=False, source="interp"))
+        if self.on_snapshot is not None:
+            self.on_snapshot(value, mode, lower, upper, ok)
+        if not ok and not self.options.silent:
+            self.stats.energy_exceptions += 1
+            message = (f"bad check: attributor of "
+                       f"{value.class_info.name} returned {mode.name}, "
+                       f"outside [{lower.name}, {upper.name}]")
+            message += self._blame("snapshot_bound", span,
+                                   value.provenance)
+            if self.tracer.enabled:
+                self.tracer.energy_exception(message, mode=mode,
+                                             lower=lower, upper=upper,
+                                             source="interp")
+            raise EnergyException(message, mode=mode, lower=lower,
+                                  upper=upper)
+        return value
 
     def _eval_mcase(self, expr: ast.MCaseExpr, frame: _Frame,
                     want_mcase) -> MCaseV:

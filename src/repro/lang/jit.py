@@ -52,9 +52,11 @@ matches the VM exactly, and the divergence bound holds unchanged.
 from __future__ import annotations
 
 from repro.core.errors import StuckError
+from repro.core.modes import TOP, Mode
 from repro.lang.bytecode import (
     OP_ADD, OP_BREAK_NOLOOP, OP_CALL_DFALL, OP_CALL_NATIVE,
-    OP_CALL_NODFALL, OP_CAST, OP_CAST_ERR, OP_CONT_NOLOOP, OP_DIV,
+    OP_CALL_NODFALL, OP_CALL_SHALLOW, OP_CAST, OP_CAST_ERR,
+    OP_CONT_NOLOOP, OP_DIV,
     OP_EQ, OP_FALLOFF, OP_FIELD_ADD, OP_FOREACH_INIT, OP_FOREACH_ITER,
     OP_FUEL, OP_GE, OP_GETF, OP_GETF_ARG, OP_GETF_RAW, OP_GETF_THIS,
     OP_GETF_THIS_ARG, OP_GETF_THIS_RAW, OP_GT, OP_INC, OP_INSTANCEOF,
@@ -64,8 +66,8 @@ from repro.lang.bytecode import (
     OP_MSELECT, OP_MUL, OP_NE, OP_NEG, OP_NEW, OP_NEW_LIST, OP_NOT,
     OP_POP_HANDLER, OP_PUSH_HANDLER, OP_RETURN, OP_RETURN_NONE,
     OP_RET_FIELD, OP_SETF, OP_SETF_THIS, OP_SNAPSHOT, OP_SNAPSHOT_ELIDE,
-    OP_SUB, OP_THROW, OP_VAR_DYN, OP_VAR_DYN_ARG, OP_VAR_DYN_RAW,
-    _JUMP_OPS)
+    OP_SNAPSHOT_SHALLOW, OP_SUB, OP_THROW, OP_VAR_DYN, OP_VAR_DYN_ARG,
+    OP_VAR_DYN_RAW, _JUMP_OPS)
 from repro.lang.natives import NATIVE_STATIC_CLASSES
 from repro.lang.values import MCaseV
 
@@ -376,8 +378,9 @@ class _Emitter:
             w(d, "else:")
             w(d + 1, f"_pc = {i + 1}")
             return True
-        if op == OP_CALL_DFALL or op == OP_CALL_NODFALL:
-            self._emit_call(d, inst, op == OP_CALL_NODFALL)
+        if op == OP_CALL_DFALL or op == OP_CALL_NODFALL \
+                or op == OP_CALL_SHALLOW:
+            self._emit_call(d, inst, op)
             return False
         if op in _ARITH:
             sym, java = _ARITH[op]
@@ -596,10 +599,37 @@ class _Emitter:
             w(d, f"r{inst[1]} = _mselect({self.reg(inst[2])}, "
                  f"{self.lit(inst[3])}, frame)")
             return False
-        if op == OP_SNAPSHOT or op == OP_SNAPSHOT_ELIDE:
+        if op == OP_SNAPSHOT or op == OP_SNAPSHOT_ELIDE \
+                or op == OP_SNAPSHOT_SHALLOW:
             elide = op == OP_SNAPSHOT_ELIDE
+            bounds = inst[3]
+            if (op == OP_SNAPSHOT_SHALLOW and self.vm._shallow_plain
+                    and bounds[0].__class__ is Mode
+                    and bounds[1].__class__ is Mode):
+                # Transient re-snapshot, concrete bounds: specialize
+                # the passing probe to two set-membership tests; the
+                # first snapshot, hooks, and failures take the helper.
+                up = self.bind(self.interp._mode_up, "_mode_up")
+                up_lo = self.bind(self.interp._mode_up[bounds[0]])
+                hi = self.bind(bounds[1])
+                slow = (f"_snapshot(_v, {self.lit(bounds)}, frame, "
+                        f"elide_bound=False, span={self.lit(inst[4])})")
+                w(d, f"_v = {self.reg(inst[2])}")
+                w(d, "if (_v.__class__ is ObjectV and _v.is_snapshot "
+                     "and _interp.on_snapshot is None):")
+                w(d + 1, "_m = _v.effective_mode")
+                w(d + 1, f"if _m in {up_lo} and {hi} in {up}[_m]:")
+                w(d + 2, "_stats.snapshots += 1")
+                w(d + 2, "_stats.bound_checks += 1")
+                w(d + 2, "_stats.shallow_checks += 1")
+                w(d + 2, f"r{inst[1]} = _v")
+                w(d + 1, "else:")
+                w(d + 2, f"r{inst[1]} = {slow}")
+                w(d, "else:")
+                w(d + 1, f"r{inst[1]} = {slow}")
+                return False
             w(d, f"r{inst[1]} = _snapshot({self.reg(inst[2])}, "
-                 f"{self.lit(inst[3])}, frame, elide_bound={elide!r}, "
+                 f"{self.lit(bounds)}, frame, elide_bound={elide!r}, "
                  f"span={self.lit(inst[4])})")
             return False
         if op == OP_CAST:
@@ -692,7 +722,7 @@ class _Emitter:
 
     # -- call sites -----------------------------------------------------
 
-    def _emit_call(self, d, inst, is_nodfall) -> None:
+    def _emit_call(self, d, inst, op) -> None:
         """A message send.  Monomorphic sites (one inline-cache entry at
         compile time) emit a receiver-class identity guard and the VM
         leaf path inline; everything else — and every guard failure —
@@ -770,8 +800,7 @@ class _Emitter:
                 if not compile_self_call:
                     w(d + 1, "if _recv is not this_obj:")
                     dd = d + 2
-                    self._emit_dfall(dd, is_nodfall, minfo_name,
-                                     span_expr)
+                    self._emit_dfall(dd, op, minfo_name, span_expr)
                 closure = "(_gm if _gm is not None else current_mode)"
             w(d + 1, f"_f2 = _Frame(_recv, _recv.mode_env, {closure})")
             w(d + 1, f"_rg2 = {self.bind(callee.template)}.copy()")
@@ -805,13 +834,25 @@ class _Emitter:
         w(d + 1, f"vm._note_deopt({self.bind(self.code)})")
         w(d + 1, f"r{dst} = {generic('_recv', self_call)}")
 
-    def _emit_dfall(self, d, is_nodfall, minfo_name, span_expr) -> None:
+    def _emit_dfall(self, d, op, minfo_name, span_expr) -> None:
         """The waterfall check at a non-self leaf send: planner-elided
-        counting, the inlined memo probe, or the full helper — the same
-        three-way split as the VM's leaf path."""
+        counting, the transient shallow probe, the inlined memo probe,
+        or the full helper — the same split as the VM's leaf path."""
         w = self.w
-        if is_nodfall and self.interp._elide_dfall_on:
+        if op == OP_CALL_NODFALL and self.interp._elide_dfall_on:
             w(d, "_stats.dfall_elided += 1")
+        elif op == OP_CALL_SHALLOW and self.vm._dfall_plain:
+            up = self.bind(self.interp._mode_up, "_mode_up")
+            top = self.bind(TOP, "_TOP")
+            w(d, "_sm = (current_mode if current_mode is not None "
+                 f"else {top})")
+            w(d, "if _interp.on_message is None and _gm is not None "
+                 f"and _sm in {up}[_gm]:")
+            w(d + 1, "_stats.dfall_checks += 1")
+            w(d + 1, "_stats.shallow_checks += 1")
+            w(d, "else:")
+            w(d + 1, f"_check_dfall(_gm, current_mode, False, _recv, "
+                     f"{minfo_name}, {span_expr})")
         elif self.vm._dfall_plain:
             w(d, "if _interp.on_message is None and _dfall_cache.get("
                  "(_gm, current_mode)) is True:")

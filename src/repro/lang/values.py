@@ -37,7 +37,7 @@ class ObjectV:
     """
 
     __slots__ = ("oid", "class_info", "mode_env", "fields", "is_snapshot",
-                 "snap_tagged")
+                 "snap_tagged", "provenance")
 
     def __init__(self, class_info: ClassInfo,
                  mode_env: Dict[str, Optional[Mode]],
@@ -53,6 +53,11 @@ class ObjectV:
         #: True if a lazy in-place snapshot already claimed this storage;
         #: the next snapshot must physically copy.
         self.snap_tagged = False
+        #: Blame provenance: the site ID (``kind@line:column``) of the
+        #: snapshot or concrete-mode construction that fixed this
+        #: object's mode tag, or None.  Transient-mode check failures
+        #: report it so a shallow failure names the originating site.
+        self.provenance: Optional[str] = None
 
     @property
     def effective_mode(self) -> Optional[Mode]:

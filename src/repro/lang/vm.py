@@ -39,9 +39,11 @@ from __future__ import annotations
 
 from repro.core.errors import (EnergyException, EntRuntimeError,
                                FuelExhausted, StuckError)
+from repro.core.modes import TOP, Mode
 from repro.lang.bytecode import (  # noqa: F401 (re-exported for tests)
     OP_ADD, OP_BREAK_NOLOOP, OP_CALL_DFALL, OP_CALL_NATIVE,
-    OP_CALL_NODFALL, OP_CAST, OP_CAST_ERR, OP_CONT_NOLOOP, OP_DIV,
+    OP_CALL_NODFALL, OP_CALL_SHALLOW, OP_CAST, OP_CAST_ERR,
+    OP_CONT_NOLOOP, OP_DIV,
     OP_EQ, OP_FALLOFF, OP_FIELD_ADD, OP_FOREACH_INIT, OP_FOREACH_ITER,
     OP_FUEL, OP_GE, OP_GETF, OP_GETF_ARG, OP_GETF_RAW, OP_GETF_THIS,
     OP_GETF_THIS_ARG, OP_GETF_THIS_RAW, OP_GT, OP_INC, OP_INSTANCEOF,
@@ -51,7 +53,8 @@ from repro.lang.bytecode import (  # noqa: F401 (re-exported for tests)
     OP_MSELECT, OP_MUL, OP_NE, OP_NEG, OP_NEW, OP_NEW_LIST, OP_NOT,
     OP_POP_HANDLER, OP_PROFILE, OP_PUSH_HANDLER, OP_RETURN,
     OP_RETURN_NONE, OP_RET_FIELD, OP_SETF, OP_SETF_THIS, OP_SNAPSHOT,
-    OP_SNAPSHOT_ELIDE, OP_SUB, OP_THROW, OP_VAR_DYN, OP_VAR_DYN_ARG,
+    OP_SNAPSHOT_ELIDE, OP_SNAPSHOT_SHALLOW, OP_SUB, OP_THROW,
+    OP_VAR_DYN, OP_VAR_DYN_ARG,
     OP_VAR_DYN_RAW, VMCode, instrument, lower_body, lower_expr)
 from repro.lang.natives import (NATIVE_STATIC_CLASSES, call_list_method,
                                 call_native_static, call_string_method)
@@ -112,6 +115,13 @@ class VM:
         self._dfall_plain = (not opts.baseline and opts.check_dfall
                              and not interp.tracer.enabled
                              and not interp.profiler.enabled)
+        #: Transient fast-path gate (``--checks transient``): the
+        #: shallow opcodes inline the upward-closure probe only when
+        #: nothing needs the deep helper's observability (tracer
+        #: events, profiler counters); hooks are re-probed at dispatch.
+        self._shallow_plain = (interp._transient
+                               and not interp.tracer.enabled
+                               and not interp.profiler.enabled)
 
     # ------------------------------------------------------------------
     # Entry points (wired as ``Interpreter._call_body`` /
@@ -361,7 +371,8 @@ class VM:
                         if interp.values_equal(regs[inst[2]],
                                                regs[inst[3]]):
                             pc = inst[1]
-                    elif op == OP_CALL_DFALL or op == OP_CALL_NODFALL:
+                    elif op == OP_CALL_DFALL or op == OP_CALL_NODFALL \
+                            or op == OP_CALL_SHALLOW:
                         site = inst[2]
                         rv = inst[3]
                         if rv is None:
@@ -411,6 +422,21 @@ class VM:
                                         if (op == OP_CALL_NODFALL
                                                 and interp._elide_dfall_on):
                                             stats.dfall_elided += 1
+                                        # Transient shallow probe: one
+                                        # set-membership test against
+                                        # the upward closure; failures
+                                        # re-enter the full helper for
+                                        # the blame-carrying raise.
+                                        elif (op == OP_CALL_SHALLOW
+                                              and self._dfall_plain
+                                              and interp.on_message is None
+                                              and guard is not None
+                                              and (current_mode
+                                                   if current_mode
+                                                   is not None else TOP)
+                                              in interp._mode_up[guard]):
+                                            stats.dfall_checks += 1
+                                            stats.shallow_checks += 1
                                         # Inlined memo hit: the full
                                         # check would only bump the
                                         # counter and pass.
@@ -780,6 +806,35 @@ class VM:
                         regs[inst[1]] = interp._snapshot_value(
                             regs[inst[2]], inst[3], frame,
                             elide_bound=True, span=inst[4])
+                    elif op == OP_SNAPSHOT_SHALLOW:
+                        # Transient re-snapshot: when the tag is
+                        # already fixed and the bounds are concrete,
+                        # the whole check is two set probes; anything
+                        # else (first snapshot, hooks, symbolic
+                        # bounds, failures) re-enters the shared
+                        # helper, which owns the blame raise.
+                        src = regs[inst[2]]
+                        if (self._shallow_plain
+                                and src.__class__ is ObjectV
+                                and src.is_snapshot
+                                and interp.on_snapshot is None):
+                            bounds = inst[3]
+                            lower = bounds[0]
+                            upper = bounds[1]
+                            if (lower.__class__ is Mode
+                                    and upper.__class__ is Mode):
+                                up = interp._mode_up
+                                mode = src.effective_mode
+                                if (mode in up[lower]
+                                        and upper in up[mode]):
+                                    stats.snapshots += 1
+                                    stats.bound_checks += 1
+                                    stats.shallow_checks += 1
+                                    regs[inst[1]] = src
+                                    continue
+                        regs[inst[1]] = interp._snapshot_value(
+                            src, inst[3], frame,
+                            elide_bound=False, span=inst[4])
                     elif op == OP_CAST:
                         regs[inst[1]] = interp._cast_value(
                             regs[inst[2]], inst[3], frame)

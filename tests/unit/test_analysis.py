@@ -399,9 +399,15 @@ def test_report_counts_and_serialization():
     assert set(payload["counts"]) == {STATIC, ELIDED, RESIDUAL}
     assert sum(payload["counts"].values()) == len(report.sites)
     for check in payload["checks"]:
-        assert set(check) == {"kind", "context", "description",
-                              "status", "reason", "line", "column",
-                              "site_id", "target_class"}
+        assert {"kind", "context", "description", "status", "reason",
+                "line", "column", "site_id", "target_class", "span",
+                "loop_depth", "local_trips"} <= set(check)
+        span = check["span"]
+        assert span["line"] == check["line"]
+        assert span["column"] == check["column"]
+        if check["status"] == RESIDUAL:
+            assert "firings_bound" in check
+            assert "cost_bound" in check
     # by_kind totals must agree with the flat counts.
     totals = {status: 0 for status in (STATIC, ELIDED, RESIDUAL)}
     for bucket in payload["by_kind"].values():
@@ -550,7 +556,59 @@ def test_static_vs_observed_tolerates_unlocatable_sites():
     assert "outside the analysis scope" in diff.render()
 
 
+_RESIDUAL_LOOP = """
+class C@mode<?X> {
+    attributor { return managed; }
+    C() { }
+    mcase<int> factor = mcase{
+        energy_saver: 1; managed: 2; full_throttle: 4;
+    };
+    int work() { return factor; }
+}
+class Main {
+    void main() {
+        C c = snapshot (new C@mode<?>());
+        int i = 0;
+        while (i < 7) {
+            c.work();
+            i = i + 1;
+        }
+    }
+}
+"""
+
+
 def test_static_vs_observed_residual_sites_may_fire():
+    from repro.analysis import static_vs_observed
+
+    report = _site_report(_RESIDUAL_LOOP)
+    residual = [s for s in report.sites if s.status == RESIDUAL]
+    assert residual, "fixture must have at least one residual site"
+    # Every residual site sits in C.work, entered once per trip of the
+    # counted 7-trip loop: firing exactly at the bound is clean.
+    assert all(s.firings.count == 7 for s in residual)
+    observed = {s.site_id: {"kind": s.kind, "executed": 7, "elided": 0}
+                for s in residual}
+    diff = static_vs_observed(report, _FakeProfile(observed))
+    assert diff.clean
+    assert all("predicted" in row for row in diff.matches)
+    assert all(row.get("bound") == 7 for row in diff.matches)
+
+
+def test_static_vs_observed_flags_bound_overrun():
+    from repro.analysis import static_vs_observed
+
+    report = _site_report(_RESIDUAL_LOOP)
+    residual = [s for s in report.sites if s.status == RESIDUAL]
+    observed = {s.site_id: {"kind": s.kind, "executed": 8, "elided": 0}
+                for s in residual}
+    diff = static_vs_observed(report, _FakeProfile(observed))
+    assert not diff.clean
+    assert all("static residual bound" in row["reason"]
+               for row in diff.violations)
+
+
+def test_static_vs_observed_unreachable_residual_must_not_fire():
     from repro.analysis import static_vs_observed
 
     report = _site_report("""
@@ -565,9 +623,102 @@ class C@mode<?X> {
 class Main { void main() { } }
 """)
     residual = [s for s in report.sites if s.status == RESIDUAL]
-    assert residual, "fixture must have at least one residual site"
+    assert residual and all(s.firings.count == 0 for s in residual)
     observed = {s.site_id: {"kind": s.kind, "executed": 7, "elided": 0}
                 for s in residual}
     diff = static_vs_observed(report, _FakeProfile(observed))
-    assert diff.clean
-    assert all("predicted" in row for row in diff.matches)
+    assert not diff.clean
+
+
+# ---------------------------------------------------------------------------
+# Per-site loop depth / span regression on the worked examples
+
+#: (kind, status, "line:col", loop_depth, firings_bound) for every
+#: check site, in report order.  These pin the analyze --json surface
+#: on the paper's two worked examples: change one deliberately or not
+#: at all.
+WORKED_EXAMPLE_SITES = {
+    "crawler": [
+        (MCASE_ELIM, RESIDUAL, "34:17", 0, 3),
+        (SNAPSHOT_BOUND, RESIDUAL, "56:18", 0, 3),
+        (DFALL, RESIDUAL, "57:16", 0, 3),
+        (SNAPSHOT_BOUND, ELIDED, "64:19", 0, 1),
+        (DFALL, ELIDED, "66:44", 0, 1),
+        (DFALL, ELIDED, "68:46", 0, 1),
+        (DFALL, ELIDED, "71:44", 0, 1),
+    ],
+    "sensors": [
+        (MCASE_ELIM, RESIDUAL, "34:17", 0, 4),
+        (SNAPSHOT_BOUND, RESIDUAL, "49:21", 0, 4),
+        (DFALL, RESIDUAL, "50:16", 0, 4),
+        (SNAPSHOT_BOUND, ELIDED, "57:22", 0, 1),
+        (DFALL, ELIDED, "59:37", 0, 1),
+        (DFALL, ELIDED, "60:38", 0, 1),
+        (DFALL, ELIDED, "62:41", 0, 1),
+        (DFALL, ELIDED, "65:44", 0, 1),
+    ],
+}
+
+
+@pytest.mark.parametrize("stem", sorted(WORKED_EXAMPLE_SITES))
+def test_analyze_json_worked_example_sites(stem):
+    path = ROOT / "examples" / "ent" / f"{stem}.ent"
+    report = analyze_program(check_program(path.read_text()),
+                             file=path.name)
+    payload = report.as_dict()
+    got = [(c["kind"], c["status"],
+            f"{c['line']}:{c['column']}",
+            c["loop_depth"], c["firings_bound"])
+           for c in payload["checks"]]
+    assert got == WORKED_EXAMPLE_SITES[stem]
+    for check in payload["checks"]:
+        assert check["span"]["line"] == check["line"]
+        assert check["span"]["column"] == check["column"]
+
+
+def test_analyze_json_worked_example_rollups():
+    crawler = analyze_program(check_program(
+        (ROOT / "examples" / "ent" / "crawler.ent").read_text()))
+    rollup = crawler.as_dict()["residual_cost"]
+    assert rollup["program"] == {"residual_sites": 3,
+                                 "firings_bound": 9,
+                                 "full_units_bound": 18,
+                                 "transient_units_bound": 9}
+    assert set(rollup["by_class"]) == {"Site"}
+    sensors = analyze_program(check_program(
+        (ROOT / "examples" / "ent" / "sensors.ent").read_text()))
+    rollup = sensors.as_dict()["residual_cost"]
+    assert rollup["program"] == {"residual_sites": 3,
+                                 "firings_bound": 12,
+                                 "full_units_bound": 24,
+                                 "transient_units_bound": 12}
+    assert set(rollup["by_class"]) == {"Reading"}
+
+
+def test_analyze_json_loop_depth_counts_nesting():
+    report = analyze_program(check_program(MODES + """
+class C@mode<?X> {
+    attributor { return managed; }
+    C() { }
+    int work() { return 1; }
+}
+class Main {
+    void main() {
+        C@mode<?> c = new C@mode<?>();
+        int i = 0;
+        while (i < 2) {
+            int j = 0;
+            while (j < 3) {
+                C s = snapshot c [managed, managed];
+                s.work();
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+    }
+}
+"""))
+    payload = report.as_dict()
+    depths = {c["kind"]: c["loop_depth"] for c in payload["checks"]}
+    assert depths[SNAPSHOT_BOUND] == 2
+    assert depths[DFALL] == 2

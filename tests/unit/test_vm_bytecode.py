@@ -250,3 +250,71 @@ class Main {
         one = lower_body(interp, decl.body, ["k"])
         two = lower_body(interp, decl.body, ["k"])
         assert disassemble(one) == disassemble(two)
+
+
+class TestShallowOpcodes:
+    """Transient checking lowers to dedicated shallow opcodes
+    (``CALL_SHALLOW``/``SNAPSHOT_SHALLOW``) and the JIT inlines the
+    matching tag probes; full checking must never emit them."""
+
+    PROGRAM = MODES + """
+class R@mode<?X> {
+    int load;
+    attributor {
+        if (load > 10) { return hi; }
+        return lo;
+    }
+    R(int load) { this.load = load; }
+    int get() { return load; }
+}
+class Main {
+    void main() {
+        R@mode<?> r = new R@mode<?>(7);
+        int i = 0;
+        while (i < 3) {
+            R s = snapshot r [lo, hi];
+            Sys.print(s.get());
+            i = i + 1;
+        }
+    }
+}
+"""
+
+    def _main_listing(self, checks):
+        checked = check_program(self.PROGRAM)
+        interp = Interpreter(checked,
+                             options=InterpOptions(engine="vm",
+                                                   checks=checks))
+        main_cls = next(c for c in checked.program.classes
+                        if c.name == "Main")
+        minfo = interp._find_method(interp.table.get("Main"), "main")
+        assert main_cls is not None
+        return disassemble(interp._vm.code_for_method(minfo))
+
+    def test_transient_lowering_uses_shallow_opcodes(self):
+        listing = self._main_listing("transient")
+        assert "SNAPSHOT_SHALLOW" in listing
+        assert "CALL_SHALLOW" in listing
+        assert ";; BOUND_CHECK (transient: tag-vs-bounds probe)" \
+            in listing
+        assert ";; DFALL_CHECK (transient: shallow tag probe)" \
+            in listing
+        assert "CALL_DFALL" not in listing
+
+    def test_full_lowering_keeps_deep_opcodes(self):
+        listing = self._main_listing("full")
+        assert "SHALLOW" not in listing
+        assert "CALL_DFALL" in listing
+        assert "SNAPSHOT " in listing or "SNAPSHOT\t" in listing
+
+    def test_jit_inlines_shallow_probes(self):
+        from repro.lang.jit import jit_source
+
+        checked = check_program(self.PROGRAM)
+        interp = Interpreter(checked,
+                             options=InterpOptions(engine="vm",
+                                                   checks="transient"))
+        minfo = interp._find_method(interp.table.get("Main"), "main")
+        source = jit_source(interp._vm,
+                            interp._vm.code_for_method(minfo))
+        assert "shallow_checks" in source
